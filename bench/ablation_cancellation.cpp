@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: SLO-aware request cancellation (section III-B — the
+ * deadline abstraction "allows the preemption or cancellation of some
+ * long requests to release resources when otherwise SLO will be
+ * violated"). Under overload, dropping already-hopeless requests keeps
+ * the tail of the *served* requests bounded; without cancellation the
+ * whole latency distribution collapses.
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "workload/generator.hh"
+
+using namespace preempt;
+
+namespace {
+
+struct Out
+{
+    TimeNs p99;
+    double dropPct;
+    double goodputK;
+};
+
+Out
+run(TimeNs deadline, double rps, TimeNs duration)
+{
+    sim::Simulator sim(42);
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = 4;
+    rc.quantum = usToNs(5);
+    rc.requestDeadline = deadline;
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+    workload::WorkloadSpec spec{workload::makeServiceLaw("B", duration),
+                                workload::RateLaw::constant(rps), duration};
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server.onArrival(r);
+                                    });
+    gen.start();
+    sim.runUntil(duration + msToNs(300));
+    const auto &m = server.metrics();
+    double total = static_cast<double>(m.completed() + m.cancelled());
+    return Out{m.lcLatency().p99(),
+               total ? 100.0 * static_cast<double>(m.cancelled()) / total
+                     : 0.0,
+               m.throughputRps(duration) / 1e3};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    TimeNs duration = msToNs(cli.getDouble("duration-ms", 200));
+    TimeNs slo = usToNs(cli.getDouble("deadline-us", 200));
+    cli.rejectUnknown();
+
+    ConsoleTable table(
+        "Ablation: SLO cancellation (deadline " +
+        ConsoleTable::num(nsToUs(slo), 0) +
+        " us) on exponential workload, 4 workers (capacity ~800 kRPS)");
+    table.header({"load (kRPS)", "p99 no-cancel (us)", "p99 cancel (us)",
+                  "dropped", "goodput (kRPS)"});
+    for (double k : {400.0, 700.0, 850.0, 1000.0, 1200.0}) {
+        Out off = run(0, k * 1e3, duration);
+        Out on = run(slo, k * 1e3, duration);
+        table.row({ConsoleTable::num(k, 0),
+                   ConsoleTable::num(nsToUs(off.p99), 1),
+                   ConsoleTable::num(nsToUs(on.p99), 1),
+                   ConsoleTable::num(on.dropPct, 1) + "%",
+                   ConsoleTable::num(on.goodputK, 0)});
+    }
+    table.print();
+    std::printf("\nexpected: below saturation no drops and identical "
+                "tails; past saturation cancellation holds the served "
+                "tail near the deadline while goodput stays at "
+                "capacity.\n");
+    return 0;
+}

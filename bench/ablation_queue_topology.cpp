@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: two-level queues (per-worker local FIFOs + global
+ * preempted list, Fig. 6) versus one central lock-protected queue.
+ * The central queue gives ideal load balance but serialises every
+ * dequeue; the paper's two-level design avoids that serialisation
+ * while the global lists still provide load balancing.
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "workload/generator.hh"
+
+using namespace preempt;
+
+namespace {
+
+struct Out
+{
+    TimeNs p50;
+    TimeNs p99;
+    double thrK;
+};
+
+Out
+run(bool central, double rps, TimeNs duration)
+{
+    sim::Simulator sim(42);
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = 16;
+    rc.quantum = usToNs(5);
+    rc.centralQueue = central;
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+    workload::WorkloadSpec spec{workload::makeServiceLaw("A1", duration),
+                                workload::RateLaw::constant(rps), duration};
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server.onArrival(r);
+                                    });
+    gen.start();
+    sim.runUntil(duration + msToNs(200));
+    const auto &m = server.metrics();
+    return Out{m.lcLatency().p50(), m.lcLatency().p99(),
+               m.throughputRps(duration) / 1e3};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    TimeNs duration = msToNs(cli.getDouble("duration-ms", 250));
+    cli.rejectUnknown();
+
+    ConsoleTable table("Ablation: queue topology on A1, 16 workers "
+                       "(p50 / p99 us)");
+    table.header({"load (kRPS)", "two-level (paper)", "central queue"});
+    for (double k : {1000.0, 2000.0, 3000.0, 4000.0, 4800.0}) {
+        Out two = run(false, k * 1e3, duration);
+        Out one = run(true, k * 1e3, duration);
+        table.row({ConsoleTable::num(k, 0),
+                   ConsoleTable::num(nsToUs(two.p50), 1) + " / " +
+                       ConsoleTable::num(nsToUs(two.p99), 1),
+                   ConsoleTable::num(nsToUs(one.p50), 1) + " / " +
+                       ConsoleTable::num(nsToUs(one.p99), 1)});
+    }
+    table.print();
+    std::printf("\nexpected: the central queue balances perfectly while "
+                "its lock is uncontended (better tails at low rates), "
+                "but every dequeue serialises on one bouncing cache "
+                "line (~500 ns): past ~2 MRPS it collapses while the "
+                "two-level design keeps scaling to worker capacity — "
+                "the paper's rationale for per-worker local queues.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: LibUtimer's deadline data structure — the default linear
+ * slot scan versus the hierarchical timing wheel the paper opts into
+ * for large thread counts (section IV-A). Measures real host-CPU cost
+ * per timer-core iteration as the registered thread count grows.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "common/rng.hh"
+#include "core/timing_wheel.hh"
+#include "preemptible/hosttime.hh"
+
+using namespace preempt;
+
+namespace {
+
+/** ns per scan pass over n armed deadline slots (linear design). */
+double
+linearScanCost(int n, int iters)
+{
+    std::vector<TimeNs> deadlines(static_cast<std::size_t>(n));
+    Rng rng(1);
+    for (auto &d : deadlines)
+        d = usToNs(100) + rng.below(1000000);
+    volatile std::uint64_t fired = 0;
+    TimeNs t0 = runtime::hostNowNs();
+    for (int it = 0; it < iters; ++it) {
+        TimeNs now = static_cast<TimeNs>(it) * 150;
+        for (auto &d : deadlines) {
+            if (d <= now) {
+                fired = fired + 1;
+                d = kTimeNever;
+            }
+        }
+    }
+    TimeNs t1 = runtime::hostNowNs();
+    return static_cast<double>(t1 - t0) / iters;
+}
+
+/** ns per advance() tick with n live timers in the wheel. */
+double
+wheelCost(int n, int iters)
+{
+    core::TimingWheel wheel(usToNs(1), 256, 3);
+    Rng rng(2);
+    for (int i = 0; i < n; ++i)
+        wheel.schedule(usToNs(100) + rng.below(1000000), 0);
+    std::uint64_t fired = 0;
+    TimeNs t0 = runtime::hostNowNs();
+    for (int it = 1; it <= iters; ++it) {
+        wheel.advance(static_cast<TimeNs>(it) * 150,
+                      [&](std::uint64_t, TimeNs) {
+                          ++fired;
+                          // Keep the wheel populated like a steady
+                          // runtime re-arming deadlines.
+                          wheel.schedule(static_cast<TimeNs>(it) * 150 +
+                                             usToNs(100),
+                                         0);
+                      });
+    }
+    TimeNs t1 = runtime::hostNowNs();
+    return static_cast<double>(t1 - t0) / iters;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    int iters = static_cast<int>(cli.getInt("iters", 20000));
+    cli.rejectUnknown();
+
+    ConsoleTable table("Ablation: timer-core cost per poll iteration "
+                       "(host ns)");
+    table.header({"armed threads", "linear scan", "timing wheel"});
+    for (int n : {8, 32, 128, 512, 2048, 8192}) {
+        table.row({std::to_string(n),
+                   ConsoleTable::num(linearScanCost(n, iters), 1),
+                   ConsoleTable::num(wheelCost(n, iters), 1)});
+    }
+    table.print();
+    std::printf("\nexpected: linear scan grows with thread count; the "
+                "wheel stays near-constant, justifying the paper's "
+                "timing-wheel option for large deployments.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+#include "bench/bench_util.hh"
+
+#include <sstream>
+
+#include "baselines/libinger_sim.hh"
+#include "baselines/shinjuku_sim.hh"
+#include "common/logging.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+
+namespace preempt::bench {
+
+std::unique_ptr<runtime_sim::ServerModel>
+makeServer(sim::Simulator &sim, const hw::LatencyConfig &cfg,
+           const RunSpec &spec)
+{
+    if (spec.system == "libpreemptible" || spec.system == "nouintr" ||
+        spec.system == "nopreempt") {
+        runtime_sim::LibPreemptibleConfig rc;
+        rc.nWorkers = spec.workers;
+        rc.quantum = spec.system == "nopreempt" ? 0 : spec.quantum;
+        rc.adaptive = spec.adaptive;
+        rc.controllerParams.period = spec.adaptivePeriod;
+        rc.statsHorizon = spec.adaptivePeriod;
+        if (spec.system == "nouintr")
+            rc.delivery = runtime_sim::TimerDelivery::KernelSignal;
+        rc.completionHook = spec.completionHook;
+        return std::make_unique<runtime_sim::LibPreemptibleSim>(sim, cfg,
+                                                                rc);
+    }
+    if (spec.system == "shinjuku") {
+        baselines::ShinjukuConfig sc;
+        sc.nWorkers = spec.workers + 1; // no timer core
+        sc.quantum = spec.quantum;
+        sc.completionHook = spec.completionHook;
+        return std::make_unique<baselines::ShinjukuSim>(sim, cfg, sc);
+    }
+    if (spec.system == "libinger") {
+        baselines::LibingerConfig lc;
+        lc.nWorkers = spec.workers + 1;
+        lc.quantum = spec.quantum;
+        lc.completionHook = spec.completionHook;
+        return std::make_unique<baselines::LibingerSim>(sim, cfg, lc);
+    }
+    fatal("unknown system '%s'", spec.system.c_str());
+}
+
+RunOutcome
+runOne(const RunSpec &spec, const hw::LatencyConfig &cfg)
+{
+    sim::Simulator sim(spec.seed);
+    auto server = makeServer(sim, cfg, spec);
+    workload::WorkloadSpec wl{
+        workload::makeServiceLaw(spec.workload, spec.duration),
+        workload::RateLaw::constant(spec.rps), spec.duration};
+    workload::OpenLoopGenerator gen(sim, std::move(wl),
+                                    [&](workload::Request &r) {
+                                        server->onArrival(r);
+                                    });
+    gen.start();
+    // Bounded drain window after the arrival horizon so overloaded
+    // systems terminate.
+    sim.runUntil(spec.duration + msToNs(200));
+
+    const auto &m = server->metrics();
+    RunOutcome out;
+    out.name = server->name();
+    out.offeredRps = spec.rps;
+    out.achievedRps = m.throughputRps(spec.duration);
+    out.p50 = m.lcLatency().p50();
+    out.p99 = m.lcLatency().p99();
+    out.maxLatency = m.lcLatency().max();
+    out.overheadRatio = m.overheadRatio();
+    out.completed = m.completed();
+    out.preemptions = m.totalPreemptions();
+    return out;
+}
+
+std::string
+fmtUs(TimeNs ns)
+{
+    std::ostringstream os;
+    os.precision(1);
+    os << std::fixed << nsToUs(ns);
+    return os.str();
+}
+
+} // namespace preempt::bench

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: construct any of
+ * the simulated runtimes, drive it with a paper workload at a given
+ * offered load, and report the metrics the paper plots.
+ *
+ * Core-count convention follows the evaluation setup (section V-A):
+ * `workers` is the LibPreemptible worker count; Shinjuku and Libinger
+ * get workers+1 because they have no dedicated timer core (paper: 1
+ * network + 5 workers vs 1 network + 4 workers + 1 timer).
+ */
+
+#ifndef PREEMPT_BENCH_BENCH_UTIL_HH
+#define PREEMPT_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/time.hh"
+#include "hw/latency_config.hh"
+#include "runtime_sim/server.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace preempt::bench {
+
+/** One experiment configuration. */
+struct RunSpec
+{
+    /** libpreemptible | shinjuku | libinger | nouintr | nopreempt */
+    std::string system = "libpreemptible";
+    /** A1 | A2 | B | C */
+    std::string workload = "A1";
+    double rps = 500e3;
+    TimeNs quantum = usToNs(5);
+    int workers = 4;
+    TimeNs duration = msToNs(300);
+    bool adaptive = false;
+    TimeNs adaptivePeriod = msToNs(50);
+    std::uint64_t seed = 42;
+    /** Optional per-completion hook forwarded to the runtime. */
+    std::function<void(TimeNs, const workload::Request &)> completionHook;
+};
+
+/** What the paper's figures report per operating point. */
+struct RunOutcome
+{
+    std::string name;
+    double offeredRps = 0;
+    double achievedRps = 0;
+    TimeNs p50 = 0;
+    TimeNs p99 = 0;
+    TimeNs maxLatency = 0;
+    double overheadRatio = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t preemptions = 0;
+};
+
+/** Build a server model for a spec inside an existing simulator. */
+std::unique_ptr<runtime_sim::ServerModel>
+makeServer(sim::Simulator &sim, const hw::LatencyConfig &cfg,
+           const RunSpec &spec);
+
+/** Run one experiment end to end. */
+RunOutcome runOne(const RunSpec &spec,
+                  const hw::LatencyConfig &cfg =
+                      hw::LatencyConfig::paperCalibrated());
+
+/** Render a latency value for tables (microseconds, 1 decimal). */
+std::string fmtUs(TimeNs ns);
+
+} // namespace preempt::bench
+
+#endif // PREEMPT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 2: tail latency vs. load for different preemption quanta on 16
+ * cores, for a heavy-tailed bimodal workload (left) and a light-tailed
+ * exponential workload (right). 0 us quantum = no preemption.
+ *
+ * Expected shape: for the bimodal workload, small quanta dominate (no
+ * preemption blows up at moderate load from head-of-line blocking);
+ * for the exponential workload larger quanta win because preemption is
+ * pure overhead when the tail is light.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+
+using namespace preempt;
+using preempt::bench::RunSpec;
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    TimeNs duration = msToNs(cli.getDouble("duration-ms", 200));
+    int workers = static_cast<int>(cli.getInt("workers", 16));
+    cli.rejectUnknown();
+
+    const double quanta_us[] = {0, 5, 10, 25, 100};
+
+    struct Wl
+    {
+        const char *name;
+        std::vector<double> loads; // kRPS
+    };
+    // Capacity: A1 mean 3 us -> 16/3us = 5.3 MRPS; B mean 5 us -> 3.2 M.
+    const Wl wls[] = {
+        {"A1", {1000, 2000, 3000, 4000, 4600, 5000}},
+        {"B", {600, 1200, 1800, 2400, 2800, 3000}},
+    };
+
+    for (const Wl &wl : wls) {
+        ConsoleTable table(std::string("Fig. 2 (") +
+                           (wl.name[0] == 'A' ? "bimodal " : "exponential ") +
+                           wl.name + "): p99 latency (us) vs load, " +
+                           std::to_string(workers) + " workers");
+        std::vector<std::string> header{"load (kRPS)"};
+        for (double q : quanta_us) {
+            header.push_back(q == 0 ? "no preempt"
+                                    : "q=" + ConsoleTable::num(q, 0) + "us");
+        }
+        table.header(header);
+
+        for (double load : wl.loads) {
+            std::vector<std::string> row{ConsoleTable::num(load, 0)};
+            for (double q : quanta_us) {
+                RunSpec spec;
+                spec.system = q == 0 ? "nopreempt" : "libpreemptible";
+                spec.workload = wl.name;
+                spec.rps = load * 1e3;
+                spec.quantum = usToNs(q);
+                spec.workers = workers;
+                spec.duration = duration;
+                auto out = preempt::bench::runOne(spec);
+                row.push_back(preempt::bench::fmtUs(out.p99));
+            }
+            table.row(row);
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

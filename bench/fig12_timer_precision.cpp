@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fig. 12: precision of LibUtimer vs. a periodic kernel timer under
+ * background activity, with 26 threads armed, at 100 us and 20 us
+ * target quanta. The paper's observation: the kernel timer cannot
+ * express 20 us (a ~60 us granularity line appears) and jitters
+ * heavily, while LibUtimer's inter-fire interval tracks the target
+ * with ~1% average relative error over 5000 samples.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/histogram.hh"
+#include "common/table.hh"
+#include "hw/kernel.hh"
+#include "runtime_sim/utimer_model.hh"
+#include "sim/simulator.hh"
+
+using namespace preempt;
+
+namespace {
+
+struct Precision
+{
+    double meanUs;
+    double stdUs;
+    double relErrPct; ///< mean |interval - target| / target
+};
+
+Precision
+measure(bool use_utimer, TimeNs target, int samples, int bg_threads)
+{
+    sim::Simulator sim(9);
+    hw::LatencyConfig cfg;
+    LatencyHistogram intervals;
+    double abs_err = 0;
+    int collected = 0;
+
+    if (use_utimer) {
+        runtime_sim::UTimerModel utimer(
+            sim, cfg, runtime_sim::TimerDelivery::Uintr);
+        // Background threads keep their own deadlines armed, like the
+        // stress-ng contention in the paper.
+        for (int i = 0; i < bg_threads; ++i) {
+            int slot = utimer.registerThread();
+            utimer.startPeriodic(slot, target * 3 + 777, [](TimeNs) {});
+        }
+        int slot = utimer.registerThread();
+        auto last = std::make_shared<TimeNs>(0);
+        utimer.startPeriodic(slot, target, [&, last](TimeNs t) {
+            if (*last != 0 && collected < samples) {
+                TimeNs gap = t - *last;
+                intervals.record(gap);
+                abs_err += std::abs(static_cast<double>(gap) -
+                                    static_cast<double>(target));
+                ++collected;
+                if (collected >= samples)
+                    sim.stop();
+            }
+            *last = t;
+        });
+        sim.runUntil(secToNs(600));
+    } else {
+        hw::SignalPath signals(sim, cfg);
+        // Background kernel timers inject signal-path contention.
+        std::vector<std::unique_ptr<hw::KernelTimer>> bg;
+        for (int i = 0; i < bg_threads; ++i) {
+            bg.push_back(
+                std::make_unique<hw::KernelTimer>(sim, cfg, signals));
+            bg.back()->arm(target * 3 + 777, true, [](TimeNs, TimeNs) {});
+        }
+        hw::KernelTimer timer(sim, cfg, signals);
+        auto last = std::make_shared<TimeNs>(0);
+        timer.arm(target, true, [&, last](TimeNs t, TimeNs) {
+            if (*last != 0 && collected < samples) {
+                TimeNs gap = t - *last;
+                intervals.record(gap);
+                abs_err += std::abs(static_cast<double>(gap) -
+                                    static_cast<double>(target));
+                ++collected;
+                if (collected >= samples)
+                    sim.stop();
+            }
+            *last = t;
+        });
+        sim.runUntil(secToNs(600));
+    }
+
+    Precision p;
+    p.meanUs = intervals.mean() / 1e3;
+    p.stdUs = intervals.stddev() / 1e3;
+    p.relErrPct = collected
+                      ? 100.0 * (abs_err / collected) /
+                            static_cast<double>(target)
+                      : 0.0;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    int samples = static_cast<int>(cli.getInt("samples", 5000));
+    int bg = static_cast<int>(cli.getInt("bg-threads", 26));
+    cli.rejectUnknown();
+
+    ConsoleTable table("Fig. 12: timer precision with 26 armed threads "
+                       "and background noise (5000 samples)");
+    table.header({"timer", "target (us)", "mean interval (us)",
+                  "stddev (us)", "avg rel. error"});
+    for (double target_us : {100.0, 20.0}) {
+        TimeNs target = usToNs(target_us);
+        Precision k = measure(false, target, samples, bg);
+        Precision u = measure(true, target, samples, bg);
+        table.row({"kernel timer", ConsoleTable::num(target_us, 0),
+                   ConsoleTable::num(k.meanUs, 1),
+                   ConsoleTable::num(k.stdUs, 1),
+                   ConsoleTable::num(k.relErrPct, 1) + "%"});
+        table.row({"LibUtimer", ConsoleTable::num(target_us, 0),
+                   ConsoleTable::num(u.meanUs, 1),
+                   ConsoleTable::num(u.stdUs, 1),
+                   ConsoleTable::num(u.relErrPct, 1) + "%"});
+    }
+    table.print();
+    std::printf("\nexpected shape: the kernel timer pins to its ~60 us "
+                "granularity line (so a 20 us target is unexpressible) "
+                "with high variance; LibUtimer stays ~1%% off target.\n");
+    return 0;
+}

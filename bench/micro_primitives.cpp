@@ -1,0 +1,231 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's primitives: the
+ * real fcontext switch (the paper's ~40 ns claim), fn_launch/resume
+ * round trips, deadline arming, the event queue, the latency
+ * histogram, the KVS and the compressor.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/compressor.hh"
+#include "common/dist.hh"
+#include "apps/kvstore.hh"
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "preemptible/fcontext.hh"
+#include "preemptible/preemptible_fn.hh"
+#include "preemptible/stack_pool.hh"
+#include "preemptible/utimer.hh"
+#include "core/quantum_controller.hh"
+#include "core/timing_wheel.hh"
+#include "sim/event_queue.hh"
+
+using namespace preempt;
+using namespace preempt::runtime;
+using preempt::fcontext::preempt_jump_fcontext;
+using preempt::fcontext::preempt_make_fcontext;
+
+namespace {
+
+// ----- raw fcontext switch ------------------------------------------
+
+void
+pingEntry(fcontext::Transfer t)
+{
+    // Bounce forever; each jump is one switch.
+    fcontext::Context back = t.fctx;
+    for (;;) {
+        fcontext::Transfer r = preempt_jump_fcontext(back, nullptr);
+        back = r.fctx;
+    }
+}
+
+void
+BM_FcontextSwitch(benchmark::State &state)
+{
+    StackPool pool(64 * 1024);
+    Stack stack = pool.acquire();
+    fcontext::Context ctx = preempt_make_fcontext(
+        stack.top(), stack.usable(), &pingEntry);
+    // Prime: first jump enters the context.
+    fcontext::Transfer t = preempt_jump_fcontext(ctx, nullptr);
+    ctx = t.fctx;
+    for (auto _ : state) {
+        t = preempt_jump_fcontext(ctx, nullptr);
+        ctx = t.fctx;
+    }
+    state.SetItemsProcessed(state.iterations() * 2); // two switches
+    pool.release(stack);
+}
+BENCHMARK(BM_FcontextSwitch);
+
+// ----- fn_launch / fn_resume round trip ------------------------------
+
+void
+BM_FnLaunchComplete(benchmark::State &state)
+{
+    UTimer &timer = globalUTimer();
+    if (!timer.running())
+        timer.init();
+    if (!currentWorker())
+        workerInit(timer);
+    for (auto _ : state) {
+        PreemptibleFn fn([] {});
+        benchmark::DoNotOptimize(fn_launch(fn, 0));
+    }
+}
+BENCHMARK(BM_FnLaunchComplete);
+
+void
+BM_FnYieldResume(benchmark::State &state)
+{
+    UTimer &timer = globalUTimer();
+    if (!timer.running())
+        timer.init();
+    if (!currentWorker())
+        workerInit(timer);
+    bool stop = false;
+    PreemptibleFn fn([&stop] {
+        while (!stop)
+            fn_yield();
+    });
+    fn_launch(fn, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fn_resume(fn, 0));
+    stop = true;
+    fn_resume(fn, 0);
+}
+BENCHMARK(BM_FnYieldResume);
+
+// ----- deadline arming ------------------------------------------------
+
+void
+BM_ArmDeadline(benchmark::State &state)
+{
+    DeadlineSlot slot;
+    TimeNs t = 1;
+    for (auto _ : state) {
+        UTimer::armDeadline(&slot, t++);
+        benchmark::DoNotOptimize(slot.deadline.load());
+    }
+}
+BENCHMARK(BM_ArmDeadline);
+
+// ----- simulator event queue -----------------------------------------
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue q;
+    TimeNs t = 0;
+    for (auto _ : state) {
+        q.schedule(++t, [](TimeNs) {});
+        q.runOne();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+// ----- latency histogram ----------------------------------------------
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    LatencyHistogram h;
+    Rng rng(1);
+    for (auto _ : state)
+        h.record(rng.below(1000000));
+    benchmark::DoNotOptimize(h.p99());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// ----- KVS --------------------------------------------------------------
+
+void
+BM_KvGet(benchmark::State &state)
+{
+    apps::KvStore store(8, 8192);
+    for (std::uint64_t k = 0; k < 100000; ++k)
+        store.set(k, "0123456789abcdef");
+    Rng rng(2);
+    ZipfianGenerator zipf(100000, 0.99);
+    std::string out;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(store.get(zipf.next(rng), out));
+}
+BENCHMARK(BM_KvGet);
+
+void
+BM_KvSet(benchmark::State &state)
+{
+    apps::KvStore store(8, 8192);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            store.set(rng.below(100000), "0123456789abcdef"));
+}
+BENCHMARK(BM_KvSet);
+
+// ----- compressor --------------------------------------------------------
+
+void
+BM_Compress25kB(benchmark::State &state)
+{
+    auto block = apps::makeCompressibleBlock(apps::Compressor::kBlockSize,
+                                             4);
+    apps::Compressor comp;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(comp.compress(block));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * block.size()));
+}
+BENCHMARK(BM_Compress25kB);
+
+// ----- timing wheel -------------------------------------------------
+
+void
+BM_TimingWheelScheduleAdvance(benchmark::State &state)
+{
+    core::TimingWheel wheel(100, 256, 3);
+    Rng rng(5);
+    TimeNs now = 0;
+    for (auto _ : state) {
+        wheel.schedule(now + 1000 + rng.below(100000), 0);
+        now += 150;
+        wheel.advance(now, [](std::uint64_t, TimeNs) {});
+    }
+}
+BENCHMARK(BM_TimingWheelScheduleAdvance);
+
+// ----- zipfian key generation ----------------------------------------
+
+void
+BM_ZipfianNext(benchmark::State &state)
+{
+    Rng rng(6);
+    ZipfianGenerator zipf(1000000, 0.99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.next(rng));
+}
+BENCHMARK(BM_ZipfianNext);
+
+// ----- Algorithm 1 control step ---------------------------------------
+
+void
+BM_ControllerStep(benchmark::State &state)
+{
+    core::QuantumControllerParams params;
+    core::QuantumController ctl(params, usToNs(50));
+    core::ControlInputs in;
+    in.loadRps = 5e5;
+    in.maxLoadRps = 1e6;
+    in.maxQueueLen = 10;
+    in.tailIndex = 1.5;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ctl.step(in));
+}
+BENCHMARK(BM_ControllerStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

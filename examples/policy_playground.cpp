@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Policy playground: run any of the simulated runtimes on any of the
+ * paper's workloads at a chosen load and quantum, and print the
+ * latency profile — a quick way to explore the scheduling space the
+ * evaluation section sweeps.
+ *
+ *   ./policy_playground --system=libpreemptible|shinjuku|libinger|
+ *                        nouintr|nopreempt
+ *                       [--workload=A1|A2|B|C] [--rps=600000]
+ *                       [--quantum-us=5] [--workers=4]
+ *                       [--duration-ms=1000] [--adaptive]
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/libinger_sim.hh"
+#include "baselines/oracle_sim.hh"
+#include "baselines/shinjuku_sim.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "workload/generator.hh"
+
+using namespace preempt;
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    std::string system = cli.getString("system", "libpreemptible");
+    std::string wl = cli.getString("workload", "A1");
+    double rps = cli.getDouble("rps", 600e3);
+    TimeNs quantum = usToNs(cli.getDouble("quantum-us", 5));
+    int workers = static_cast<int>(cli.getInt("workers", 4));
+    TimeNs duration = msToNs(cli.getDouble("duration-ms", 1000));
+    bool adaptive = cli.getBool("adaptive", false);
+    cli.rejectUnknown();
+
+    sim::Simulator sim(42);
+    hw::LatencyConfig cfg;
+
+    std::unique_ptr<runtime_sim::ServerModel> server;
+    if (system == "libpreemptible" || system == "nouintr" ||
+        system == "nopreempt") {
+        runtime_sim::LibPreemptibleConfig rc;
+        rc.nWorkers = workers;
+        rc.quantum = system == "nopreempt" ? 0 : quantum;
+        rc.adaptive = adaptive;
+        rc.controllerParams.period = msToNs(50);
+        rc.statsHorizon = msToNs(50);
+        if (system == "nouintr")
+            rc.delivery = runtime_sim::TimerDelivery::KernelSignal;
+        server = std::make_unique<runtime_sim::LibPreemptibleSim>(sim, cfg,
+                                                                  rc);
+    } else if (system == "shinjuku") {
+        baselines::ShinjukuConfig sc;
+        sc.nWorkers = workers + 1; // same total cores (no timer core)
+        sc.quantum = quantum;
+        server = std::make_unique<baselines::ShinjukuSim>(sim, cfg, sc);
+    } else if (system == "ps") {
+        server = std::make_unique<baselines::ProcessorSharingSim>(
+            sim, workers);
+    } else if (system == "srpt") {
+        server = std::make_unique<baselines::SrptSim>(sim, workers);
+    } else if (system == "libinger") {
+        baselines::LibingerConfig lc;
+        lc.nWorkers = workers + 1;
+        lc.quantum = quantum;
+        server = std::make_unique<baselines::LibingerSim>(sim, cfg, lc);
+    } else {
+        fatal("unknown --system '%s'", system.c_str());
+    }
+
+    workload::WorkloadSpec spec{workload::makeServiceLaw(wl, duration),
+                                workload::RateLaw::constant(rps), duration};
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server->onArrival(r);
+                                    });
+    gen.start();
+    sim.runUntil(duration + msToNs(500));
+
+    const auto &m = server->metrics();
+    ConsoleTable table(server->name() + " on workload " + wl);
+    table.header({"metric", "value"});
+    table.row({"offered load", ConsoleTable::num(rps / 1e3, 0) + " kRPS"});
+    table.row({"throughput",
+               ConsoleTable::num(m.throughputRps(duration) / 1e3, 0) +
+                   " kRPS"});
+    table.row({"completed", std::to_string(m.completed())});
+    table.row({"p50 latency",
+               ConsoleTable::num(nsToUs(m.lcLatency().p50()), 1) + " us"});
+    table.row({"p99 latency",
+               ConsoleTable::num(nsToUs(m.lcLatency().p99()), 1) + " us"});
+    table.row({"max latency",
+               ConsoleTable::num(nsToUs(m.lcLatency().max()), 1) + " us"});
+    table.row({"preemptions", std::to_string(m.totalPreemptions())});
+    table.row({"overhead/exec", ConsoleTable::num(m.overheadRatio(), 3)});
+    table.print();
+    return 0;
+}

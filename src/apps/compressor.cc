@@ -1,0 +1,147 @@
+#include "apps/compressor.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace preempt::apps {
+
+namespace {
+
+// Token layout:
+//   0x00..0x7f : literal run, (byte+1) literals follow
+//   0x80       : match, followed by lenByte (len-kMinMatch) and a
+//                2-byte little-endian distance
+constexpr std::uint8_t kMatchToken = 0x80;
+
+} // namespace
+
+Compressor::Compressor() : head_(kHashSize, 0xffffffffu)
+{
+}
+
+std::uint32_t
+Compressor::hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+std::vector<std::uint8_t>
+Compressor::compress(const std::uint8_t *data, std::size_t len)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(len / 2 + 16);
+    std::fill(head_.begin(), head_.end(), 0xffffffffu);
+
+    std::size_t i = 0;
+    std::size_t lit_start = 0;
+
+    auto flush_literals = [&](std::size_t end) {
+        std::size_t n = end - lit_start;
+        while (n > 0) {
+            std::size_t chunk = std::min<std::size_t>(n, 128);
+            out.push_back(static_cast<std::uint8_t>(chunk - 1));
+            out.insert(out.end(), data + lit_start, data + lit_start + chunk);
+            lit_start += chunk;
+            n -= chunk;
+        }
+    };
+
+    while (i + kMinMatch <= len) {
+        std::uint32_t h = hash4(data + i);
+        std::uint32_t cand = head_[h];
+        head_[h] = static_cast<std::uint32_t>(i);
+
+        std::size_t best = 0;
+        if (cand != 0xffffffffu && i - cand <= kMaxDistance) {
+            const std::uint8_t *a = data + i;
+            const std::uint8_t *b = data + cand;
+            std::size_t limit = std::min(len - i, kMaxMatch);
+            std::size_t m = 0;
+            while (m < limit && a[m] == b[m])
+                ++m;
+            best = m;
+        }
+
+        if (best >= kMinMatch + 1) {
+            flush_literals(i);
+            std::size_t dist = i - cand;
+            out.push_back(kMatchToken);
+            out.push_back(static_cast<std::uint8_t>(best - kMinMatch));
+            out.push_back(static_cast<std::uint8_t>(dist & 0xff));
+            out.push_back(static_cast<std::uint8_t>(dist >> 8));
+            // Insert hash entries inside the match for better chains.
+            std::size_t stop = std::min(i + best, len - kMinMatch);
+            for (std::size_t j = i + 1; j < stop; ++j)
+                head_[hash4(data + j)] = static_cast<std::uint32_t>(j);
+            i += best;
+            lit_start = i;
+        } else {
+            ++i;
+        }
+    }
+    flush_literals(len);
+
+    bytesIn_ += len;
+    bytesOut_ += out.size();
+    return out;
+}
+
+std::vector<std::uint8_t>
+Compressor::decompress(const std::uint8_t *data, std::size_t len)
+{
+    std::vector<std::uint8_t> out;
+    std::size_t i = 0;
+    while (i < len) {
+        std::uint8_t tok = data[i++];
+        if (tok == kMatchToken) {
+            fatal_if(i + 3 > len, "truncated match token");
+            std::size_t mlen = static_cast<std::size_t>(data[i]) + kMinMatch;
+            std::size_t dist = static_cast<std::size_t>(data[i + 1]) |
+                               (static_cast<std::size_t>(data[i + 2]) << 8);
+            i += 3;
+            fatal_if(dist == 0 || dist > out.size(),
+                     "corrupt match distance");
+            std::size_t src = out.size() - dist;
+            for (std::size_t k = 0; k < mlen; ++k)
+                out.push_back(out[src + k]); // overlapping copies OK
+        } else {
+            std::size_t n = static_cast<std::size_t>(tok) + 1;
+            fatal_if(i + n > len, "truncated literal run");
+            out.insert(out.end(), data + i, data + i + n);
+            i += n;
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+makeCompressibleBlock(std::size_t size, std::uint64_t seed)
+{
+    // Markov-ish pseudo-text: repeated dictionary words with noise,
+    // compressing to roughly half like typical log/text payloads.
+    static const char *words[] = {
+        "request", "latency", "preempt", "kernel", "thread", "server",
+        "uintr",   "quantum", "worker",  "deadline", "sched", "cloud",
+    };
+    Rng rng(seed);
+    std::vector<std::uint8_t> out;
+    out.reserve(size);
+    while (out.size() < size) {
+        const char *w = words[rng.below(12)];
+        std::size_t wl = std::strlen(w);
+        for (std::size_t k = 0; k < wl && out.size() < size; ++k)
+            out.push_back(static_cast<std::uint8_t>(w[k]));
+        if (out.size() < size)
+            out.push_back(rng.below(16) == 0
+                              ? static_cast<std::uint8_t>(rng.below(256))
+                              : ' ');
+    }
+    return out;
+}
+
+} // namespace preempt::apps

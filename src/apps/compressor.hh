@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Self-contained LZ77 block compressor — the zlib-analogue best-effort
+ * workload of the colocation experiments (section V-C: zlib engines
+ * run against 25 kB of raw data, ~100 us median latency).
+ *
+ * Format: a stream of tokens. Control byte 0x00-0x7f introduces a run
+ * of 1..128 literal bytes; 0x80|n introduces a match: 2 bytes of
+ * little-endian distance followed by a length byte (length = n*?); see
+ * the token layout below. Greedy hash-chain matching like
+ * DEFLATE-at-level-1.
+ */
+
+#ifndef PREEMPT_APPS_COMPRESSOR_HH
+#define PREEMPT_APPS_COMPRESSOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace preempt::apps {
+
+/** LZ77 block compressor with greedy hash matching. */
+class Compressor
+{
+  public:
+    /** Default block size used by the colocation experiments. */
+    static constexpr std::size_t kBlockSize = 25 * 1024;
+
+    Compressor();
+
+    /** Compress a buffer; output is self-describing. */
+    std::vector<std::uint8_t> compress(const std::uint8_t *data,
+                                       std::size_t len);
+
+    std::vector<std::uint8_t>
+    compress(const std::vector<std::uint8_t> &in)
+    {
+        return compress(in.data(), in.size());
+    }
+
+    /** Decompress a buffer produced by compress(). */
+    static std::vector<std::uint8_t>
+    decompress(const std::uint8_t *data, std::size_t len);
+
+    static std::vector<std::uint8_t>
+    decompress(const std::vector<std::uint8_t> &in)
+    {
+        return decompress(in.data(), in.size());
+    }
+
+    /** Bytes consumed / produced so far (for throughput accounting). */
+    std::uint64_t bytesIn() const { return bytesIn_; }
+    std::uint64_t bytesOut() const { return bytesOut_; }
+
+  private:
+    static constexpr int kHashBits = 13;
+    static constexpr std::size_t kHashSize = 1u << kHashBits;
+    static constexpr std::size_t kMinMatch = 4;
+    static constexpr std::size_t kMaxMatch = 255 + kMinMatch;
+    static constexpr std::size_t kMaxDistance = 0xffff;
+
+    static std::uint32_t hash4(const std::uint8_t *p);
+
+    std::vector<std::uint32_t> head_;
+    std::uint64_t bytesIn_ = 0;
+    std::uint64_t bytesOut_ = 0;
+};
+
+/** Deterministic pseudo-text generator for compressible test data. */
+std::vector<std::uint8_t> makeCompressibleBlock(std::size_t size,
+                                                std::uint64_t seed);
+
+} // namespace preempt::apps
+
+#endif // PREEMPT_APPS_COMPRESSOR_HH

@@ -1,0 +1,160 @@
+#include "apps/kvstore.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace preempt::apps {
+
+namespace {
+
+std::size_t
+roundPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+KvStore::KvStore(std::size_t n_partitions,
+                 std::size_t buckets_per_partition)
+{
+    fatal_if(n_partitions == 0 || buckets_per_partition == 0,
+             "KvStore needs at least one partition and bucket");
+    std::size_t np = roundPow2(n_partitions);
+    std::size_t nb = roundPow2(buckets_per_partition);
+    partMask_ = np - 1;
+    bucketMask_ = nb - 1;
+    parts_.reserve(np);
+    for (std::size_t i = 0; i < np; ++i) {
+        auto p = std::make_unique<Partition>();
+        p->buckets = std::vector<Bucket>(nb);
+        parts_.push_back(std::move(p));
+    }
+}
+
+std::uint64_t
+KvStore::mix(std::uint64_t key)
+{
+    // splitmix64 finaliser: good avalanche for partition + bucket
+    // selection.
+    key += 0x9e3779b97f4a7c15ULL;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+    return key ^ (key >> 31);
+}
+
+KvStore::Partition &
+KvStore::partitionFor(std::uint64_t key)
+{
+    return *parts_[mix(key) & partMask_];
+}
+
+const KvStore::Partition &
+KvStore::partitionFor(std::uint64_t key) const
+{
+    return *parts_[mix(key) & partMask_];
+}
+
+KvResult
+KvStore::set(std::uint64_t key, const void *value, std::size_t len)
+{
+    sets_.fetch_add(1, std::memory_order_relaxed);
+    if (len > kMaxValue)
+        return KvResult::ValueTooLarge;
+
+    Partition &part = partitionFor(key);
+    Bucket &bucket = part.buckets[(mix(key) >> 32) & bucketMask_];
+
+    std::lock_guard<std::mutex> lock(part.writeLock);
+    // Find the key or a free slot.
+    Entry *slot = nullptr;
+    for (auto &e : bucket.ways) {
+        if (e.used && e.key == key) {
+            slot = &e;
+            break;
+        }
+        if (!e.used && !slot)
+            slot = &e;
+    }
+    if (!slot)
+        return KvResult::Full;
+
+    bool fresh = !slot->used;
+    // Seqlock write: odd sequence marks the bucket unstable.
+    bucket.seq.fetch_add(1, std::memory_order_acq_rel);
+    slot->key = key;
+    slot->len = static_cast<std::uint8_t>(len);
+    std::memcpy(slot->value, value, len);
+    slot->used = true;
+    bucket.seq.fetch_add(1, std::memory_order_acq_rel);
+    if (fresh)
+        part.live.fetch_add(1, std::memory_order_relaxed);
+    return KvResult::Ok;
+}
+
+KvResult
+KvStore::get(std::uint64_t key, std::string &out) const
+{
+    gets_.fetch_add(1, std::memory_order_relaxed);
+    const Partition &part = partitionFor(key);
+    const Bucket &bucket =
+        part.buckets[(mix(key) >> 32) & bucketMask_];
+
+    for (;;) {
+        std::uint32_t s0 = bucket.seq.load(std::memory_order_acquire);
+        if (s0 & 1)
+            continue; // writer in progress
+        const Entry *found = nullptr;
+        char tmp[kMaxValue];
+        std::uint8_t len = 0;
+        for (const auto &e : bucket.ways) {
+            if (e.used && e.key == key) {
+                len = e.len;
+                std::memcpy(tmp, e.value, len);
+                found = &e;
+                break;
+            }
+        }
+        std::uint32_t s1 = bucket.seq.load(std::memory_order_acquire);
+        if (s0 != s1)
+            continue; // raced with a writer; retry
+        if (!found)
+            return KvResult::NotFound;
+        out.assign(tmp, len);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return KvResult::Ok;
+    }
+}
+
+KvResult
+KvStore::erase(std::uint64_t key)
+{
+    Partition &part = partitionFor(key);
+    Bucket &bucket = part.buckets[(mix(key) >> 32) & bucketMask_];
+    std::lock_guard<std::mutex> lock(part.writeLock);
+    for (auto &e : bucket.ways) {
+        if (e.used && e.key == key) {
+            bucket.seq.fetch_add(1, std::memory_order_acq_rel);
+            e.used = false;
+            bucket.seq.fetch_add(1, std::memory_order_acq_rel);
+            part.live.fetch_sub(1, std::memory_order_relaxed);
+            return KvResult::Ok;
+        }
+    }
+    return KvResult::NotFound;
+}
+
+std::uint64_t
+KvStore::size() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : parts_)
+        total += p->live.load(std::memory_order_relaxed);
+    return total;
+}
+
+} // namespace preempt::apps

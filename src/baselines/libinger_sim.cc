@@ -1,0 +1,188 @@
+#include "baselines/libinger_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace preempt::baselines {
+
+using workload::Request;
+
+LibingerSim::LibingerSim(sim::Simulator &sim, const hw::LatencyConfig &cfg,
+                         LibingerConfig config)
+    : sim_(sim), cfg_(cfg), config_(std::move(config)),
+      machine_(sim, cfg, config_.nWorkers + 1), signals_(sim, cfg),
+      rng_(sim.rng().fork(0x6c696267)), lockFreeAt_(0), netFreeAt_(0),
+      admitted_(0), finished_(0)
+{
+    fatal_if(config_.nWorkers <= 0, "need at least one worker");
+    machine_.setRole(0, hw::CoreRole::Dispatcher);
+    quantum_ = config_.quantum == 0
+                   ? 0
+                   : std::max(config_.quantum, cfg_.kernelTimerFloor);
+    workers_.resize(static_cast<std::size_t>(config_.nWorkers));
+    for (int i = 0; i < config_.nWorkers; ++i) {
+        workers_[static_cast<std::size_t>(i)].id = i;
+        machine_.setRole(i + 1, hw::CoreRole::Worker);
+    }
+}
+
+TimeNs
+LibingerSim::lockedOp(TimeNs from)
+{
+    TimeNs start = std::max(from, lockFreeAt_);
+    lockFreeAt_ = start + cfg_.libingerLockHold;
+    return lockFreeAt_;
+}
+
+void
+LibingerSim::onArrival(Request &req)
+{
+    metrics_.onArrival(req);
+    ++admitted_;
+    // Network thread enqueues into the shared run queue.
+    TimeNs start = std::max(sim_.now(), netFreeAt_);
+    netFreeAt_ = start + cfg_.dispatchCost;
+    machine_.addBusy(0, cfg_.dispatchCost);
+    TimeNs ready = lockedOp(netFreeAt_);
+    sim_.at(ready, [this, &req](TimeNs t) {
+        queue_.pushBack(&req);
+        wakeWorker(t);
+    });
+}
+
+void
+LibingerSim::wakeWorker(TimeNs now)
+{
+    (void)now;
+    for (auto &w : workers_) {
+        if (w.idle && !w.wakePending) {
+            w.wakePending = true;
+            int id = w.id;
+            sim_.after(cfg_.workerQueuePoll, [this, id](TimeNs t) {
+                Worker &ww = workers_[static_cast<std::size_t>(id)];
+                ww.wakePending = false;
+                if (ww.idle)
+                    pickNext(ww, t);
+            });
+            return;
+        }
+    }
+}
+
+void
+LibingerSim::pickNext(Worker &w, TimeNs now)
+{
+    panic_if(w.current != nullptr, "worker picking while running");
+    if (queue_.empty()) {
+        w.idle = true;
+        return;
+    }
+    // Popping the shared queue serializes on its lock.
+    TimeNs ready = lockedOp(now);
+    machine_.addBusy(w.id + 1, ready - now);
+    Request *req = queue_.popFront();
+    w.idle = false;
+    sim_.at(ready, [this, &w, req](TimeNs t) { startSegment(w, *req, t); });
+}
+
+void
+LibingerSim::startSegment(Worker &w, Request &req, TimeNs now)
+{
+    w.current = &req;
+    if (req.firstStart == kTimeNever)
+        req.firstStart = now;
+
+    // Arm the per-thread kernel timer (timer_settime) and switch into
+    // the green thread.
+    TimeNs overhead = cfg_.userCtxSwitch;
+    if (quantum_ != 0)
+        overhead += cfg_.timerProgramCost + cfg_.syscallCost;
+    metrics_.addPreemptionOverhead(overhead);
+    machine_.addBusy(w.id + 1, overhead);
+    TimeNs seg_start = now + overhead;
+    w.segStart = seg_start;
+
+    int id = w.id;
+    if (quantum_ == 0) {
+        sim_.at(seg_start + req.remaining, [this, id](TimeNs t) {
+            onCompletion(workers_[static_cast<std::size_t>(id)], t);
+        });
+        return;
+    }
+
+    // Kernel timer expiry: granularity-clamped interval, expiry
+    // jitter, then the kernel signal path to the worker.
+    TimeNs jitter = cfg_.kernelTimerJitter.sample(rng_);
+    TimeNs signal_path = cfg_.signalDelivery.sample(rng_) +
+                         cfg_.signalHandlerCost;
+    TimeNs handler_entry = seg_start + quantum_ + jitter + signal_path;
+
+    if (seg_start + req.remaining <= handler_entry) {
+        sim_.at(seg_start + req.remaining, [this, id](TimeNs t) {
+            onCompletion(workers_[static_cast<std::size_t>(id)], t);
+        });
+    } else {
+        sim_.at(handler_entry, [this, id](TimeNs t) {
+            onPreemption(workers_[static_cast<std::size_t>(id)], t);
+        });
+    }
+}
+
+void
+LibingerSim::onCompletion(Worker &w, TimeNs now)
+{
+    Request *req = w.current;
+    panic_if(!req, "completion with no running request");
+    w.current = nullptr;
+
+    TimeNs executed = now - w.segStart;
+    metrics_.addExecution(executed);
+    machine_.addBusy(w.id + 1, executed);
+    req->remaining = 0;
+    req->completion = now;
+    ++finished_;
+    metrics_.onCompletion(*req);
+    if (config_.completionHook)
+        config_.completionHook(now, *req);
+
+    // Disarm the timer and return to the scheduler loop.
+    TimeNs overhead = cfg_.userCtxSwitch;
+    if (quantum_ != 0)
+        overhead += cfg_.timerProgramCost + cfg_.syscallCost;
+    metrics_.addPreemptionOverhead(overhead);
+    machine_.addBusy(w.id + 1, overhead);
+    int id = w.id;
+    sim_.after(overhead, [this, id](TimeNs t) {
+        pickNext(workers_[static_cast<std::size_t>(id)], t);
+    });
+}
+
+void
+LibingerSim::onPreemption(Worker &w, TimeNs now)
+{
+    Request *req = w.current;
+    panic_if(!req, "preemption with no running request");
+    w.current = nullptr;
+
+    TimeNs executed = now - w.segStart;
+    panic_if(executed >= req->remaining,
+             "preempted a request that should have completed");
+    req->remaining -= executed;
+    ++req->preemptions;
+    metrics_.addExecution(executed);
+
+    // Signal-handler cost was paid inside handler_entry; the context
+    // save + requeue happen under the shared lock.
+    TimeNs overhead = cfg_.userCtxSwitch;
+    metrics_.addPreemptionOverhead(overhead + cfg_.signalHandlerCost);
+    machine_.addBusy(w.id + 1, executed + overhead);
+    TimeNs ready = lockedOp(now + overhead);
+    sim_.at(ready, [this, req, &w](TimeNs t) {
+        queue_.pushBack(req);
+        int id = w.id;
+        pickNext(workers_[static_cast<std::size_t>(id)], t);
+    });
+}
+
+} // namespace preempt::baselines

@@ -1,0 +1,140 @@
+#include "baselines/oracle_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace preempt::baselines {
+
+using workload::Request;
+
+ProcessorSharingSim::ProcessorSharingSim(sim::Simulator &sim, int n_workers)
+    : sim_(sim), nWorkers_(n_workers), lastAdvance_(0),
+      nextEvent_(sim::kInvalidEvent)
+{
+    fatal_if(n_workers <= 0, "PS needs at least one worker");
+}
+
+void
+ProcessorSharingSim::advance(TimeNs now)
+{
+    if (active_.empty() || now <= lastAdvance_) {
+        lastAdvance_ = now;
+        return;
+    }
+    double rate =
+        std::min(1.0, static_cast<double>(nWorkers_) /
+                          static_cast<double>(active_.size()));
+    auto progress = static_cast<TimeNs>(
+        static_cast<double>(now - lastAdvance_) * rate);
+    // Uniform progress preserves the remaining-time order, so the set
+    // invariants hold through the in-place mutation.
+    for (const Request *req : active_) {
+        auto *r = const_cast<Request *>(req);
+        r->remaining = r->remaining > progress ? r->remaining - progress
+                                               : 0;
+    }
+    lastAdvance_ = now;
+}
+
+void
+ProcessorSharingSim::replan(TimeNs now)
+{
+    sim_.events().cancel(nextEvent_);
+    nextEvent_ = sim::kInvalidEvent;
+    if (active_.empty())
+        return;
+    double rate =
+        std::min(1.0, static_cast<double>(nWorkers_) /
+                          static_cast<double>(active_.size()));
+    const Request *first = *active_.begin();
+    // Overshoot by one tick: fluid progress truncates to whole
+    // nanoseconds, so an exact schedule could strand 1 ns of work.
+    auto dt = static_cast<TimeNs>(
+        static_cast<double>(first->remaining) / rate) + 1;
+    nextEvent_ = sim_.at(now + dt, [this](TimeNs t) {
+        advance(t);
+        // Complete everything within a tick of zero (ties possible).
+        while (!active_.empty() && (*active_.begin())->remaining <= 1) {
+            auto *r = const_cast<Request *>(*active_.begin());
+            active_.erase(active_.begin());
+            r->remaining = 0;
+            r->completion = t;
+            metrics_.onCompletion(*r);
+        }
+        replan(t);
+    });
+}
+
+void
+ProcessorSharingSim::onArrival(Request &req)
+{
+    metrics_.onArrival(req);
+    TimeNs now = sim_.now();
+    advance(now);
+    if (req.firstStart == kTimeNever)
+        req.firstStart = now;
+    active_.insert(&req);
+    replan(now);
+}
+
+SrptSim::SrptSim(sim::Simulator &sim, int n_workers)
+    : sim_(sim), nWorkers_(n_workers), lastAdvance_(0),
+      nextEvent_(sim::kInvalidEvent)
+{
+    fatal_if(n_workers <= 0, "SRPT needs at least one worker");
+}
+
+void
+SrptSim::advanceRunning(TimeNs now)
+{
+    if (now <= lastAdvance_ || jobs_.empty()) {
+        lastAdvance_ = now;
+        return;
+    }
+    TimeNs elapsed = now - lastAdvance_;
+    // The first nWorkers_ jobs run at rate 1. Uniform progress on the
+    // shortest jobs keeps them the shortest, so set order survives.
+    int i = 0;
+    for (auto it = jobs_.begin(); it != jobs_.end() && i < nWorkers_;
+         ++it, ++i) {
+        Request *r = *it;
+        r->remaining = r->remaining > elapsed ? r->remaining - elapsed : 0;
+    }
+    lastAdvance_ = now;
+}
+
+void
+SrptSim::reschedule(TimeNs now)
+{
+    sim_.events().cancel(nextEvent_);
+    nextEvent_ = sim::kInvalidEvent;
+    if (jobs_.empty())
+        return;
+    Request *first = *jobs_.begin();
+    nextEvent_ = sim_.at(now + std::max<TimeNs>(first->remaining, 1),
+                         [this](TimeNs t) {
+        advanceRunning(t);
+        while (!jobs_.empty() && (*jobs_.begin())->remaining == 0) {
+            Request *r = *jobs_.begin();
+            jobs_.erase(jobs_.begin());
+            r->completion = t;
+            metrics_.onCompletion(*r);
+        }
+        reschedule(t);
+    });
+}
+
+void
+SrptSim::onArrival(Request &req)
+{
+    metrics_.onArrival(req);
+    TimeNs now = sim_.now();
+    advanceRunning(now);
+    if (req.firstStart == kTimeNever)
+        req.firstStart = now;
+    jobs_.insert(&req);
+    reschedule(now);
+}
+
+} // namespace preempt::baselines

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Idealised reference schedulers used to sanity-check the simulation
+ * against scheduling theory (section II-B / [66]):
+ *
+ *   ProcessorSharing — fluid PS: all in-service requests progress at
+ *     rate nWorkers / inFlight, no overheads. The tail-optimal
+ *     discipline for light-tailed work at low loads.
+ *   Srpt — preemptive Shortest-Remaining-Processing-Time with zero
+ *     overheads and oracle knowledge of remaining time: a mean-optimal
+ *     lower bound no implementable µs-scale system reaches (the paper
+ *     explains why SRPT-like rules are impractical without request
+ *     knowledge).
+ *
+ * Both are overhead-free idealisations; they bound what the real
+ * systems can achieve and appear in tests and ablation benches, not in
+ * the paper's figures.
+ */
+
+#ifndef PREEMPT_BASELINES_ORACLE_SIM_HH
+#define PREEMPT_BASELINES_ORACLE_SIM_HH
+
+#include <set>
+#include <string>
+
+#include "runtime_sim/server.hh"
+#include "sim/simulator.hh"
+
+namespace preempt::baselines {
+
+/** Fluid processor-sharing server over n cores. */
+class ProcessorSharingSim : public runtime_sim::ServerModel
+{
+  public:
+    ProcessorSharingSim(sim::Simulator &sim, int n_workers);
+
+    void onArrival(workload::Request &req) override;
+    std::string name() const override { return "PS(oracle)"; }
+
+    std::uint64_t inFlight() const { return active_.size(); }
+
+  private:
+    /** Re-plan the next completion after any membership change. */
+    void replan(TimeNs now);
+
+    /** Advance virtual progress to now. */
+    void advance(TimeNs now);
+
+    struct ByRemaining
+    {
+        bool
+        operator()(const workload::Request *a,
+                   const workload::Request *b) const
+        {
+            if (a->remaining != b->remaining)
+                return a->remaining < b->remaining;
+            return a->id < b->id;
+        }
+    };
+
+    sim::Simulator &sim_;
+    int nWorkers_;
+    std::set<const workload::Request *, ByRemaining> active_;
+    TimeNs lastAdvance_;
+    sim::EventId nextEvent_;
+};
+
+/** Oracle SRPT over n cores with zero overheads. */
+class SrptSim : public runtime_sim::ServerModel
+{
+  public:
+    SrptSim(sim::Simulator &sim, int n_workers);
+
+    void onArrival(workload::Request &req) override;
+    std::string name() const override { return "SRPT(oracle)"; }
+
+    std::uint64_t inFlight() const { return jobs_.size(); }
+
+  private:
+    void reschedule(TimeNs now);
+    void advanceRunning(TimeNs now);
+
+    struct ByRemaining
+    {
+        bool
+        operator()(const workload::Request *a,
+                   const workload::Request *b) const
+        {
+            if (a->remaining != b->remaining)
+                return a->remaining < b->remaining;
+            return a->id < b->id;
+        }
+    };
+
+    sim::Simulator &sim_;
+    int nWorkers_;
+    /** All live jobs ordered by remaining time; the first nWorkers_
+     *  are "running". */
+    std::set<workload::Request *, ByRemaining> jobs_;
+    TimeNs lastAdvance_;
+    sim::EventId nextEvent_;
+};
+
+} // namespace preempt::baselines
+
+#endif // PREEMPT_BASELINES_ORACLE_SIM_HH

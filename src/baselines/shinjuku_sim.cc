@@ -1,0 +1,198 @@
+#include "baselines/shinjuku_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace preempt::baselines {
+
+using workload::Request;
+
+ShinjukuSim::ShinjukuSim(sim::Simulator &sim, const hw::LatencyConfig &cfg,
+                         ShinjukuConfig config)
+    : sim_(sim), cfg_(cfg), config_(std::move(config)),
+      machine_(sim, cfg, config_.nWorkers + 1),
+      rng_(sim.rng().fork(0x73686a6b)), dispatcherFreeAt_(0),
+      assignPending_(false), admitted_(0), finished_(0)
+{
+    fatal_if(config_.nWorkers <= 0, "need at least one worker");
+    fatal_if(config_.nWorkers > cfg_.apicMaxTargets,
+             "Shinjuku's APIC mapping supports at most %d targets",
+             cfg_.apicMaxTargets);
+    machine_.setRole(0, hw::CoreRole::Dispatcher);
+    quantum_ = config_.quantum == 0
+                   ? 0
+                   : std::max(config_.quantum, cfg_.shinjukuMinQuantum);
+    workers_.resize(static_cast<std::size_t>(config_.nWorkers));
+    for (int i = 0; i < config_.nWorkers; ++i) {
+        workers_[static_cast<std::size_t>(i)].id = i;
+        machine_.setRole(i + 1, hw::CoreRole::Worker);
+    }
+}
+
+TimeNs
+ShinjukuSim::dispatcherOp()
+{
+    TimeNs start = std::max(sim_.now(), dispatcherFreeAt_);
+    dispatcherFreeAt_ = start + cfg_.shinjukuDispatchCost;
+    machine_.addBusy(0, cfg_.shinjukuDispatchCost);
+    // Centralized scheduling is pure overhead relative to lean
+    // execution (Fig. 1 right counts it against Shinjuku).
+    metrics_.addPreemptionOverhead(cfg_.shinjukuDispatchCost);
+    return dispatcherFreeAt_;
+}
+
+void
+ShinjukuSim::onArrival(Request &req)
+{
+    metrics_.onArrival(req);
+    ++admitted_;
+    // Admission is a dispatcher operation (network poll + enqueue).
+    TimeNs ready = dispatcherOp();
+    sim_.at(ready, [this, &req](TimeNs t) {
+        queue_.pushBack(&req);
+        tryAssign(t);
+    });
+}
+
+void
+ShinjukuSim::tryAssign(TimeNs now)
+{
+    (void)now; // decisions are timestamped by the dispatcher-op event
+    if (assignPending_)
+        return;
+    bool any_idle = false;
+    for (auto &w : workers_) {
+        if (w.idle) {
+            any_idle = true;
+            break;
+        }
+    }
+    if (!any_idle || queue_.empty())
+        return;
+
+    // One assignment per dispatcher operation; chained until either
+    // the queue or the idle set drains.
+    assignPending_ = true;
+    TimeNs ready = dispatcherOp();
+    sim_.at(ready, [this](TimeNs t) {
+        assignPending_ = false;
+        Worker *victim = nullptr;
+        for (auto &w : workers_) {
+            if (w.idle) {
+                victim = &w;
+                break;
+            }
+        }
+        Request *req = victim ? queue_.popFront() : nullptr;
+        if (victim && req) {
+            victim->idle = false;
+            startSegment(*victim, *req, t);
+        }
+        tryAssign(t);
+    });
+}
+
+void
+ShinjukuSim::startSegment(Worker &w, Request &req, TimeNs now)
+{
+    w.current = &req;
+    if (req.firstStart == kTimeNever)
+        req.firstStart = now;
+
+    // Worker-side context switch into the request.
+    TimeNs overhead = cfg_.userCtxSwitch;
+    metrics_.addPreemptionOverhead(overhead);
+    machine_.addBusy(w.id + 1, overhead);
+    TimeNs seg_start = now + overhead;
+    w.segStart = seg_start;
+
+    if (quantum_ == 0) {
+        TimeNs done_at = seg_start + req.remaining;
+        int id = w.id;
+        sim_.at(done_at, [this, id](TimeNs t) {
+            onCompletion(workers_[static_cast<std::size_t>(id)], t);
+        });
+        return;
+    }
+
+    // The dispatcher notices the expired quantum on its poll grid,
+    // then initiates a posted IPI; the request keeps executing until
+    // the interrupt lands (the trap itself is pure overhead, charged
+    // in onPreemption).
+    TimeNs expiry = seg_start + quantum_;
+    TimeNs grid = cfg_.shinjukuPollNs;
+    TimeNs noticed = grid ? ((expiry + grid - 1) / grid) * grid : expiry;
+    TimeNs handler_entry = noticed + cfg_.postedIpiSend +
+                           cfg_.postedIpiDelivery.sample(rng_);
+
+    int id = w.id;
+    if (seg_start + req.remaining <= handler_entry) {
+        TimeNs done_at = seg_start + req.remaining;
+        sim_.at(done_at, [this, id](TimeNs t) {
+            onCompletion(workers_[static_cast<std::size_t>(id)], t);
+        });
+    } else {
+        sim_.at(handler_entry, [this, id](TimeNs t) {
+            onPreemption(workers_[static_cast<std::size_t>(id)], t);
+        });
+    }
+}
+
+void
+ShinjukuSim::onCompletion(Worker &w, TimeNs now)
+{
+    Request *req = w.current;
+    panic_if(!req, "completion with no running request");
+    w.current = nullptr;
+
+    TimeNs executed = now - w.segStart;
+    metrics_.addExecution(executed);
+    machine_.addBusy(w.id + 1, executed);
+    req->remaining = 0;
+    req->completion = now;
+    ++finished_;
+    metrics_.onCompletion(*req);
+    if (config_.completionHook)
+        config_.completionHook(now, *req);
+
+    // The dispatcher notices the idle worker on its poll grid.
+    TimeNs grid = cfg_.shinjukuPollNs;
+    sim_.after(grid, [this, &w](TimeNs t) {
+        w.idle = true;
+        tryAssign(t);
+    });
+}
+
+void
+ShinjukuSim::onPreemption(Worker &w, TimeNs now)
+{
+    Request *req = w.current;
+    panic_if(!req, "preemption with no running request");
+    w.current = nullptr;
+
+    TimeNs executed = now - w.segStart;
+    panic_if(executed >= req->remaining,
+             "preempted a request that should have completed");
+    req->remaining -= executed;
+    ++req->preemptions;
+    metrics_.addExecution(executed);
+
+    // Worker-side preemption cost: the ring transition + interrupt
+    // frame + runtime trampoline, then the context save/switch. The
+    // worker makes no request progress during any of it.
+    TimeNs overhead = cfg_.shinjukuTrapCost + cfg_.userCtxSwitch;
+    metrics_.addPreemptionOverhead(overhead);
+    machine_.addBusy(w.id + 1, executed + overhead);
+
+    // Requeue at the tail via a dispatcher operation (centralized
+    // preemptive FCFS).
+    TimeNs ready = dispatcherOp();
+    sim_.at(std::max(ready, now + overhead), [this, req, &w](TimeNs t) {
+        queue_.pushBack(req);
+        w.idle = true;
+        tryAssign(t);
+    });
+}
+
+} // namespace preempt::baselines

@@ -1,0 +1,95 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace preempt {
+
+CommandLine::CommandLine(int argc, char **argv)
+{
+    program_ = argc > 0 ? argv[0] : "unknown";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        fatal_if(arg.rfind("--", 0) != 0,
+                 "unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+            consumed_[arg.substr(0, eq)] = false;
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            values_[arg] = argv[++i];
+            consumed_[arg] = false;
+        } else {
+            values_[arg] = "true";
+            consumed_[arg] = false;
+        }
+    }
+}
+
+std::string
+CommandLine::getString(const std::string &name, std::string def)
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    consumed_[name] = true;
+    return it->second;
+}
+
+std::int64_t
+CommandLine::getInt(const std::string &name, std::int64_t def)
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    consumed_[name] = true;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "flag --%s expects an integer, got '%s'", name.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+double
+CommandLine::getDouble(const std::string &name, double def)
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    consumed_[name] = true;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "flag --%s expects a number, got '%s'", name.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+bool
+CommandLine::getBool(const std::string &name, bool def)
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    consumed_[name] = true;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    fatal("flag --%s expects a boolean, got '%s'", name.c_str(), v.c_str());
+}
+
+void
+CommandLine::rejectUnknown() const
+{
+    for (const auto &[name, used] : consumed_) {
+        fatal_if(!used, "unknown flag --%s (see %s --help conventions)",
+                 name.c_str(), program_.c_str());
+    }
+}
+
+} // namespace preempt

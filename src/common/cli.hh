@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for bench and example binaries.
+ *
+ * Flags take the form --name=value or --name value; unrecognised flags
+ * are fatal so experiment scripts fail loudly.
+ */
+
+#ifndef PREEMPT_COMMON_CLI_HH
+#define PREEMPT_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace preempt {
+
+/** Parsed command line with typed accessors and defaults. */
+class CommandLine
+{
+  public:
+    /**
+     * Parse argv. Every flag must be declared by a get*() call with a
+     * default; call rejectUnknown() after all get*() calls to fail on
+     * typos.
+     */
+    CommandLine(int argc, char **argv);
+
+    /** String flag with default. */
+    std::string getString(const std::string &name, std::string def);
+
+    /** Integer flag with default. */
+    std::int64_t getInt(const std::string &name, std::int64_t def);
+
+    /** Floating-point flag with default. */
+    double getDouble(const std::string &name, double def);
+
+    /** Boolean flag (--name, --name=true/false) with default. */
+    bool getBool(const std::string &name, bool def);
+
+    /** Fail if any provided flag was never consumed. */
+    void rejectUnknown() const;
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    std::map<std::string, bool> consumed_;
+};
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_CLI_HH

@@ -1,0 +1,264 @@
+#include "common/dist.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace preempt {
+
+ConstantDist::ConstantDist(double value) : value_(value)
+{
+    fatal_if(value < 0, "constant distribution value must be >= 0");
+}
+
+double
+ConstantDist::sample(Rng &rng) const
+{
+    (void)rng;
+    return value_;
+}
+
+std::string
+ConstantDist::name() const
+{
+    std::ostringstream os;
+    os << "const(" << value_ << ")";
+    return os.str();
+}
+
+ExponentialDist::ExponentialDist(double mean) : mean_(mean)
+{
+    fatal_if(mean <= 0, "exponential mean must be > 0");
+}
+
+double
+ExponentialDist::sample(Rng &rng) const
+{
+    // Inverse-CDF; 1 - u avoids log(0).
+    return -mean_ * std::log(1.0 - rng.uniform());
+}
+
+std::string
+ExponentialDist::name() const
+{
+    std::ostringstream os;
+    os << "exp(mean=" << mean_ << ")";
+    return os.str();
+}
+
+UniformDist::UniformDist(double lo, double hi) : lo_(lo), hi_(hi)
+{
+    fatal_if(hi < lo, "uniform distribution requires hi >= lo");
+}
+
+double
+UniformDist::sample(Rng &rng) const
+{
+    return rng.uniform(lo_, hi_);
+}
+
+std::string
+UniformDist::name() const
+{
+    std::ostringstream os;
+    os << "uniform[" << lo_ << "," << hi_ << ")";
+    return os.str();
+}
+
+BimodalDist::BimodalDist(double short_value, double long_value, double p_long)
+    : shortValue_(short_value), longValue_(long_value), pLong_(p_long)
+{
+    fatal_if(p_long < 0 || p_long > 1, "bimodal p_long must be in [0,1]");
+}
+
+double
+BimodalDist::sample(Rng &rng) const
+{
+    return rng.uniform() < pLong_ ? longValue_ : shortValue_;
+}
+
+double
+BimodalDist::mean() const
+{
+    return (1.0 - pLong_) * shortValue_ + pLong_ * longValue_;
+}
+
+std::string
+BimodalDist::name() const
+{
+    std::ostringstream os;
+    os << "bimodal(" << (1.0 - pLong_) * 100 << "%x" << shortValue_ << ","
+       << pLong_ * 100 << "%x" << longValue_ << ")";
+    return os.str();
+}
+
+LogNormalDist::LogNormalDist(double mean, double sigma)
+    : mean_(mean), sigma_(sigma)
+{
+    fatal_if(mean <= 0, "lognormal mean must be > 0");
+    // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+    mu_ = std::log(mean) - 0.5 * sigma * sigma;
+}
+
+double
+LogNormalDist::sample(Rng &rng) const
+{
+    // Box-Muller.
+    double u1 = 1.0 - rng.uniform();
+    double u2 = rng.uniform();
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return std::exp(mu_ + sigma_ * z);
+}
+
+std::string
+LogNormalDist::name() const
+{
+    std::ostringstream os;
+    os << "lognormal(mean=" << mean_ << ",sigma=" << sigma_ << ")";
+    return os.str();
+}
+
+ParetoDist::ParetoDist(double scale, double alpha)
+    : scale_(scale), alpha_(alpha)
+{
+    fatal_if(scale <= 0 || alpha <= 0, "pareto needs scale, alpha > 0");
+}
+
+double
+ParetoDist::sample(Rng &rng) const
+{
+    return scale_ * std::pow(1.0 - rng.uniform(), -1.0 / alpha_);
+}
+
+double
+ParetoDist::mean() const
+{
+    if (alpha_ <= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return alpha_ * scale_ / (alpha_ - 1.0);
+}
+
+std::string
+ParetoDist::name() const
+{
+    std::ostringstream os;
+    os << "pareto(xm=" << scale_ << ",alpha=" << alpha_ << ")";
+    return os.str();
+}
+
+MixtureDist::MixtureDist(std::vector<DistributionPtr> components,
+                         std::vector<double> weights, std::string label)
+    : components_(std::move(components)), label_(std::move(label))
+{
+    fatal_if(components_.empty(), "mixture needs at least one component");
+    fatal_if(components_.size() != weights.size(),
+             "mixture components/weights size mismatch");
+    totalWeight_ = 0;
+    for (double w : weights) {
+        fatal_if(w < 0, "mixture weights must be >= 0");
+        totalWeight_ += w;
+        cumulative_.push_back(totalWeight_);
+    }
+    fatal_if(totalWeight_ <= 0, "mixture total weight must be > 0");
+}
+
+double
+MixtureDist::sample(Rng &rng) const
+{
+    double u = rng.uniform(0, totalWeight_);
+    auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    std::size_t idx = std::min<std::size_t>(
+        static_cast<std::size_t>(it - cumulative_.begin()),
+        components_.size() - 1);
+    return components_[idx]->sample(rng);
+}
+
+double
+MixtureDist::mean() const
+{
+    double m = 0;
+    double prev = 0;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        double w = cumulative_[i] - prev;
+        prev = cumulative_[i];
+        m += w / totalWeight_ * components_[i]->mean();
+    }
+    return m;
+}
+
+std::string
+MixtureDist::name() const
+{
+    return label_;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    fatal_if(n == 0, "zipfian needs a non-empty key space");
+    fatal_if(theta < 0 || theta >= 1.0, "zipfian theta must be in [0,1)");
+    zetan_ = zeta(n, theta);
+    double zeta2 = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+double
+ZipfianGenerator::zeta(std::uint64_t n, double theta)
+{
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+std::uint64_t
+ZipfianGenerator::next(Rng &rng) const
+{
+    double u = rng.uniform();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    double v = static_cast<double>(n_) *
+               std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t k = static_cast<std::uint64_t>(v);
+    return k >= n_ ? n_ - 1 : k;
+}
+
+DistributionPtr
+makePaperWorkload(const std::string &which)
+{
+    // Times in nanoseconds.
+    if (which == "A1")
+        return std::make_shared<BimodalDist>(500.0, 500000.0, 0.005);
+    if (which == "A2")
+        return std::make_shared<BimodalDist>(5000.0, 500000.0, 0.005);
+    if (which == "B")
+        return std::make_shared<ExponentialDist>(5000.0);
+    fatal("unknown paper workload '%s' (expected A1, A2, or B)",
+          which.c_str());
+}
+
+double
+estimateScv(const Distribution &dist, Rng &rng, int samples)
+{
+    double sum = 0;
+    double sumsq = 0;
+    for (int i = 0; i < samples; ++i) {
+        double v = dist.sample(rng);
+        sum += v;
+        sumsq += v * v;
+    }
+    double mean = sum / samples;
+    double var = sumsq / samples - mean * mean;
+    return var / (mean * mean);
+}
+
+} // namespace preempt

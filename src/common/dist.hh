@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Statistical distributions used by workload generation and by the
+ * hardware latency models.
+ *
+ * The paper's synthetic workloads (section V-A):
+ *   A1  bimodal: 99.5% 0.5 us, 0.5% 500 us   (heavy tailed)
+ *   A2  bimodal: 99.5% 5 us,   0.5% 500 us   (heavy tailed)
+ *   B   exponential, mean 5 us               (lighter tailed)
+ *   C   dynamic: first half A1, second half B
+ */
+
+#ifndef PREEMPT_COMMON_DIST_HH
+#define PREEMPT_COMMON_DIST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/time.hh"
+
+namespace preempt {
+
+/** A distribution over durations, sampled with an external RNG. */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one sample. */
+    virtual double sample(Rng &rng) const = 0;
+
+    /** Analytical (or configured) mean of the distribution. */
+    virtual double mean() const = 0;
+
+    /** Human-readable identifier used in bench output. */
+    virtual std::string name() const = 0;
+
+    /** Draw one sample and round to a whole-nanosecond duration. */
+    TimeNs
+    sampleNs(Rng &rng) const
+    {
+        double v = sample(rng);
+        return v <= 0 ? 0 : static_cast<TimeNs>(v + 0.5);
+    }
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/** Fixed value. */
+class ConstantDist : public Distribution
+{
+  public:
+    explicit ConstantDist(double value);
+    double sample(Rng &rng) const override;
+    double mean() const override { return value_; }
+    std::string name() const override;
+
+  private:
+    double value_;
+};
+
+/** Exponential with the given mean. */
+class ExponentialDist : public Distribution
+{
+  public:
+    explicit ExponentialDist(double mean);
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    std::string name() const override;
+
+  private:
+    double mean_;
+};
+
+/** Uniform over [lo, hi). */
+class UniformDist : public Distribution
+{
+  public:
+    UniformDist(double lo, double hi);
+    double sample(Rng &rng) const override;
+    double mean() const override { return 0.5 * (lo_ + hi_); }
+    std::string name() const override;
+
+  private:
+    double lo_;
+    double hi_;
+};
+
+/** Two-point mixture: value short w.p. (1 - pLong), else value long. */
+class BimodalDist : public Distribution
+{
+  public:
+    BimodalDist(double short_value, double long_value, double p_long);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string name() const override;
+
+    double shortValue() const { return shortValue_; }
+    double longValue() const { return longValue_; }
+    double pLong() const { return pLong_; }
+
+  private:
+    double shortValue_;
+    double longValue_;
+    double pLong_;
+};
+
+/** Log-normal parameterised by its mean and sigma of the underlying
+ *  normal; used for realistic RPC service-time shapes. */
+class LogNormalDist : public Distribution
+{
+  public:
+    LogNormalDist(double mean, double sigma);
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    std::string name() const override;
+
+  private:
+    double mean_;
+    double sigma_;
+    double mu_; ///< location of the underlying normal
+};
+
+/**
+ * Pareto (Lomax form: xm * U^(-1/alpha)). For alpha < 2 the distribution
+ * is heavy tailed in the sense used by the paper's Algorithm 1.
+ */
+class ParetoDist : public Distribution
+{
+  public:
+    ParetoDist(double scale, double alpha);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string name() const override;
+
+    double alpha() const { return alpha_; }
+
+  private:
+    double scale_;
+    double alpha_;
+};
+
+/** Weighted mixture of component distributions. */
+class MixtureDist : public Distribution
+{
+  public:
+    MixtureDist(std::vector<DistributionPtr> components,
+                std::vector<double> weights, std::string label = "mixture");
+    double sample(Rng &rng) const override;
+    double mean() const override;
+    std::string name() const override;
+
+  private:
+    std::vector<DistributionPtr> components_;
+    std::vector<double> cumulative_;
+    double totalWeight_;
+    std::string label_;
+};
+
+/**
+ * Zipfian generator over [0, n) with skew theta, using the
+ * Gray et al. quick method (same family as MICA's default generator).
+ */
+class ZipfianGenerator
+{
+  public:
+    ZipfianGenerator(std::uint64_t n, double theta);
+
+    /** Draw the next key. */
+    std::uint64_t next(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+};
+
+/** Paper workloads by name ("A1", "A2", "B"); C is handled by the
+ *  workload generator as a phase switch between A1 and B. */
+DistributionPtr makePaperWorkload(const std::string &which);
+
+/** Squared coefficient of variation of a distribution, estimated by
+ *  sampling; used to rank workloads by dispersion (Fig. 1 right). */
+double estimateScv(const Distribution &dist, Rng &rng, int samples = 200000);
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_DIST_HH

@@ -1,0 +1,162 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace preempt {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(kBuckets, 0), count_(0), min_(~0ULL), max_(0), sum_(0),
+      sumSq_(0)
+{
+}
+
+int
+LatencyHistogram::bucketFor(std::uint64_t value)
+{
+    if (value < static_cast<std::uint64_t>(kSubBuckets))
+        return static_cast<int>(value);
+    // For value in [2^msb, 2^(msb+1)) with msb >= kSubBucketBits, the
+    // top kSubBucketBits bits select a sub-bucket in
+    // [kSubBuckets/2, kSubBuckets).
+    int msb = 63 - std::countl_zero(value);
+    int octave = msb - kSubBucketBits + 1;
+    int sub = static_cast<int>(value >> octave);
+    return (octave + 1) * (kSubBuckets / 2) + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketMid(int bucket)
+{
+    if (bucket < kSubBuckets)
+        return static_cast<std::uint64_t>(bucket);
+    // Invert bucketFor: index = (octave+1)*16 + sub with sub in [16,32),
+    // so octave = index/16 - 2.
+    int octave = bucket / (kSubBuckets / 2) - 2;
+    std::uint64_t sub = static_cast<std::uint64_t>(
+        bucket - (octave + 1) * (kSubBuckets / 2));
+    std::uint64_t lo = sub << octave;
+    std::uint64_t width = 1ULL << octave;
+    return lo + width / 2;
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t value, std::uint64_t times)
+{
+    if (times == 0)
+        return;
+    int b = bucketFor(value);
+    panic_if(b < 0 || b >= kBuckets, "histogram bucket out of range");
+    buckets_[static_cast<std::size_t>(b)] += times;
+    count_ += times;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    double v = static_cast<double>(value);
+    sum_ += v * static_cast<double>(times);
+    sumSq_ += v * v * static_cast<double>(times);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+LatencyHistogram::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double m = mean();
+    double var = sumSq_ / static_cast<double>(count_) - m * m;
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += buckets_[static_cast<std::size_t>(b)];
+        if (seen >= rank) {
+            std::uint64_t mid = bucketMid(b);
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    return max_;
+}
+
+double
+LatencyHistogram::fractionAbove(std::uint64_t threshold) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t above = 0;
+    for (int b = kBuckets - 1; b >= 0; --b) {
+        // Skip empty buckets: midpoints of never-used top octaves
+        // would overflow 64 bits.
+        if (buckets_[static_cast<std::size_t>(b)] == 0)
+            continue;
+        if (bucketMid(b) <= threshold)
+            break;
+        above += buckets_[static_cast<std::size_t>(b)];
+    }
+    return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int b = 0; b < kBuckets; ++b)
+        buckets_[static_cast<std::size_t>(b)] +=
+            other.buckets_[static_cast<std::size_t>(b)];
+    count_ += other.count_;
+    if (other.count_) {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+    sum_ = 0;
+    sumSq_ = 0;
+}
+
+std::string
+LatencyHistogram::summaryUs() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << "n=" << count_ << " mean=" << nsToUs(static_cast<TimeNs>(mean()))
+       << "us p50=" << nsToUs(p50()) << "us p99=" << nsToUs(p99())
+       << "us max=" << nsToUs(max()) << "us";
+    return os.str();
+}
+
+} // namespace preempt

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * HDR-style logarithmic-bucket histogram for latency recording.
+ *
+ * Values are bucketed with bounded relative error (16 effective
+ * sub-buckets per octave keep the relative quantile error under ~6%),
+ * which is the standard approach for tail-latency measurement when
+ * millions of samples must be recorded cheaply.
+ */
+
+#ifndef PREEMPT_COMMON_HISTOGRAM_HH
+#define PREEMPT_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace preempt {
+
+/** Log-bucket latency histogram over unsigned 64-bit values. */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    /** Record one value (e.g. a latency in nanoseconds). */
+    void record(std::uint64_t value);
+
+    /** Record a value n times. */
+    void record(std::uint64_t value, std::uint64_t times);
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Smallest and largest recorded values (0 if empty). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+
+    /** Arithmetic mean of recorded values (bucket-midpoint based). */
+    double mean() const;
+
+    /** Standard deviation (bucket-midpoint based). */
+    double stddev() const;
+
+    /**
+     * Quantile in [0, 1]; returns the representative value of the
+     * bucket containing that rank. q=0.5 is the median, q=0.99 the
+     * 99th percentile. Returns 0 for an empty histogram.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Shorthand for common percentiles. */
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p90() const { return quantile(0.90); }
+    std::uint64_t p99() const { return quantile(0.99); }
+    std::uint64_t p999() const { return quantile(0.999); }
+
+    /** Fraction of samples strictly above the threshold. */
+    double fractionAbove(std::uint64_t threshold) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const LatencyHistogram &other);
+
+    /** Forget all samples. */
+    void reset();
+
+    /** One-line summary (count/mean/p50/p99/max in microseconds). */
+    std::string summaryUs() const;
+
+  private:
+    static constexpr int kSubBucketBits = 5; ///< 32 sub-buckets/octave
+    static constexpr int kSubBuckets = 1 << kSubBucketBits;
+    static constexpr int kOctaves = 64;
+    static constexpr int kBuckets = kOctaves * kSubBuckets;
+
+    static int bucketFor(std::uint64_t value);
+    static std::uint64_t bucketMid(int bucket);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_;
+    std::uint64_t min_;
+    std::uint64_t max_;
+    double sum_;
+    double sumSq_;
+};
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_HISTOGRAM_HH

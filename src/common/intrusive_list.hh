@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Intrusive doubly-linked list.
+ *
+ * The simulated runtimes keep contexts on several lists (local FIFO
+ * queue, global running list, global free list) and move them between
+ * lists in O(1) without allocation, exactly like the context lists in
+ * Fig. 6 of the paper.
+ */
+
+#ifndef PREEMPT_COMMON_INTRUSIVE_LIST_HH
+#define PREEMPT_COMMON_INTRUSIVE_LIST_HH
+
+#include <cstddef>
+
+#include "common/logging.hh"
+
+namespace preempt {
+
+/** Embed one of these per list a type can be a member of. */
+struct ListHook
+{
+    ListHook *prev = nullptr;
+    ListHook *next = nullptr;
+    void *owner = nullptr; ///< containing object, set when linked
+
+    bool linked() const { return prev != nullptr; }
+};
+
+/**
+ * Intrusive list over T with a designated hook member.
+ *
+ * @tparam T element type
+ * @tparam Hook pointer-to-member selecting which hook to use
+ */
+template <typename T, ListHook T::*Hook>
+class IntrusiveList
+{
+  public:
+    IntrusiveList()
+    {
+        sentinel_.prev = &sentinel_;
+        sentinel_.next = &sentinel_;
+        size_ = 0;
+    }
+
+    IntrusiveList(const IntrusiveList &) = delete;
+    IntrusiveList &operator=(const IntrusiveList &) = delete;
+
+    bool empty() const { return sentinel_.next == &sentinel_; }
+    std::size_t size() const { return size_; }
+
+    /** Append to the tail. */
+    void
+    pushBack(T *elem)
+    {
+        ListHook *h = &(elem->*Hook);
+        panic_if(h->linked(), "element already on a list");
+        h->owner = elem;
+        h->prev = sentinel_.prev;
+        h->next = &sentinel_;
+        sentinel_.prev->next = h;
+        sentinel_.prev = h;
+        ++size_;
+    }
+
+    /** Prepend to the head. */
+    void
+    pushFront(T *elem)
+    {
+        ListHook *h = &(elem->*Hook);
+        panic_if(h->linked(), "element already on a list");
+        h->owner = elem;
+        h->next = sentinel_.next;
+        h->prev = &sentinel_;
+        sentinel_.next->prev = h;
+        sentinel_.next = h;
+        ++size_;
+    }
+
+    /** Remove and return the head, or nullptr when empty. */
+    T *
+    popFront()
+    {
+        if (empty())
+            return nullptr;
+        ListHook *h = sentinel_.next;
+        unlink(h);
+        return fromHook(h);
+    }
+
+    /** Peek at the head without removing it. */
+    T *
+    front()
+    {
+        return empty() ? nullptr : fromHook(sentinel_.next);
+    }
+
+    /** Remove a specific element (must be on this list). */
+    void
+    erase(T *elem)
+    {
+        ListHook *h = &(elem->*Hook);
+        panic_if(!h->linked(), "element not on a list");
+        unlink(h);
+    }
+
+    /** Visit every element in order; f may not modify the list. */
+    template <typename F>
+    void
+    forEach(F &&f)
+    {
+        for (ListHook *h = sentinel_.next; h != &sentinel_; h = h->next)
+            f(fromHook(h));
+    }
+
+  private:
+    void
+    unlink(ListHook *h)
+    {
+        h->prev->next = h->next;
+        h->next->prev = h->prev;
+        h->prev = nullptr;
+        h->next = nullptr;
+        --size_;
+    }
+
+    static T *
+    fromHook(ListHook *h)
+    {
+        return static_cast<T *>(h->owner);
+    }
+
+    ListHook sentinel_;
+    std::size_t size_;
+};
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_INTRUSIVE_LIST_HH

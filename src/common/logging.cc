@@ -1,0 +1,61 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace preempt {
+
+namespace {
+
+std::atomic<bool> informOn{true};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informOn.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+informEnabled()
+{
+    return informOn.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logAndAbort(LogLevel level, const char *file, int line,
+            const std::string &msg)
+{
+    std::cerr << levelName(level) << ": " << msg << "\n  @ " << file << ":"
+              << line << std::endl;
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !informEnabled())
+        return;
+    std::cerr << levelName(level) << ": " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace preempt

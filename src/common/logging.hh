@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Logging and error-reporting primitives.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in this library), fatal() is for user/configuration
+ * errors, warn()/inform() report conditions without stopping.
+ */
+
+#ifndef PREEMPT_COMMON_LOGGING_HH
+#define PREEMPT_COMMON_LOGGING_HH
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace preempt {
+
+/** Severity of a log record. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Terminate-on-error sink shared by panic()/fatal(). */
+[[noreturn]] void logAndAbort(LogLevel level, const char *file, int line,
+                              const std::string &msg);
+
+/** Non-fatal sink shared by warn()/inform(). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Recursive printf-like formatter into a string. */
+inline void
+formatInto(std::ostringstream &os, const char *fmt)
+{
+    while (*fmt) {
+        if (fmt[0] == '%' && fmt[1] == '%') {
+            os << '%';
+            fmt += 2;
+        } else {
+            os << *fmt++;
+        }
+    }
+}
+
+/** True for printf length modifiers (skipped; values print via <<). */
+inline bool
+isLengthModifier(char c)
+{
+    return c == 'h' || c == 'l' || c == 'j' || c == 'z' || c == 't' ||
+           c == 'L' || c == 'q';
+}
+
+template <typename T, typename... Args>
+void
+formatInto(std::ostringstream &os, const char *fmt, T &&value,
+           Args &&...args)
+{
+    while (*fmt) {
+        if (fmt[0] == '%' && fmt[1] == '%') {
+            os << '%';
+            fmt += 2;
+        } else if (fmt[0] == '%') {
+            // Skip over a printf-style conversion spec (flags, width,
+            // precision, length modifiers, conversion); the value is
+            // rendered via operator<<.
+            ++fmt;
+            while (*fmt &&
+                   (!std::isalpha(static_cast<unsigned char>(*fmt)) ||
+                    isLengthModifier(*fmt)))
+                ++fmt;
+            if (*fmt)
+                ++fmt;
+            os << value;
+            formatInto(os, fmt, std::forward<Args>(args)...);
+            return;
+        } else {
+            os << *fmt++;
+        }
+    }
+}
+
+template <typename... Args>
+std::string
+formatString(const char *fmt, Args &&...args)
+{
+    std::ostringstream os;
+    formatInto(os, fmt, std::forward<Args>(args)...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Control whether inform() messages are printed (benches silence them). */
+void setInformEnabled(bool enabled);
+bool informEnabled();
+
+} // namespace preempt
+
+/**
+ * panic() should be called when something happens that should never
+ * happen regardless of what the user does: an actual bug in this
+ * library. Aborts the process.
+ */
+#define panic(...)                                                          \
+    ::preempt::detail::logAndAbort(::preempt::LogLevel::Panic, __FILE__,    \
+                                   __LINE__,                                \
+                                   ::preempt::detail::formatString(         \
+                                       __VA_ARGS__))
+
+/**
+ * fatal() should be called when execution cannot continue due to a
+ * condition that is the user's fault (bad configuration, invalid
+ * arguments). Exits with status 1.
+ */
+#define fatal(...)                                                          \
+    ::preempt::detail::logAndAbort(::preempt::LogLevel::Fatal, __FILE__,    \
+                                   __LINE__,                                \
+                                   ::preempt::detail::formatString(         \
+                                       __VA_ARGS__))
+
+/** warn() reports functionality that may not behave as expected. */
+#define warn(...)                                                           \
+    ::preempt::detail::logMessage(::preempt::LogLevel::Warn,                \
+                                  ::preempt::detail::formatString(          \
+                                      __VA_ARGS__))
+
+/** inform() reports normal operating status. */
+#define inform(...)                                                         \
+    ::preempt::detail::logMessage(::preempt::LogLevel::Inform,              \
+                                  ::preempt::detail::formatString(          \
+                                      __VA_ARGS__))
+
+/** panic_if()/fatal_if() evaluate a condition and report on truth. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+#endif // PREEMPT_COMMON_LOGGING_HH

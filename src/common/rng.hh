@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small PCG32 generator gives each simulation component its own
+ * reproducible stream; streams derived from the same seed with
+ * different stream ids are independent.
+ */
+
+#ifndef PREEMPT_COMMON_RNG_HH
+#define PREEMPT_COMMON_RNG_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace preempt {
+
+/**
+ * PCG32 (XSH-RR variant). Satisfies UniformRandomBitGenerator so it
+ * can also drive <random> distributions when convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint32_t;
+
+    /** Construct a stream from a seed and a stream selector. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1u) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() { return next(); }
+
+    /** Next 32 uniformly random bits. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** 64 uniformly random bits. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next64() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, bound) without modulo bias. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Derive a child stream; deterministic in (parent state, tag). */
+    Rng
+    fork(std::uint64_t tag)
+    {
+        return Rng(next64() ^ (tag * 0x9e3779b97f4a7c15ULL), tag + 1);
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_RNG_HH

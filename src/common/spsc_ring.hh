@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-capacity single-producer/single-consumer ring buffer.
+ *
+ * Used by the real host runtime to pass requests from the dispatch
+ * thread to worker threads without locks, mirroring the paper's
+ * dispatch_queue.
+ */
+
+#ifndef PREEMPT_COMMON_SPSC_RING_HH
+#define PREEMPT_COMMON_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace preempt {
+
+/** Destructive-interference granularity; fixed at 64 bytes (x86-64)
+ *  to keep the layout ABI-stable across compiler versions. */
+inline constexpr std::size_t kCacheLine = 64;
+
+/** Lock-free SPSC queue with power-of-two capacity. */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity_pow2 capacity; rounded up to a power of two. */
+    explicit SpscRing(std::size_t capacity_pow2)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity_pow2)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Producer side: returns false when full. */
+    bool
+    push(T value)
+    {
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head > mask_)
+            return false;
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: returns false when empty. */
+    bool
+    pop(T &out)
+    {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return false;
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Approximate occupancy (exact from either endpoint's thread). */
+    std::size_t
+    size() const
+    {
+        std::size_t tail = tail_.load(std::memory_order_acquire);
+        std::size_t head = head_.load(std::memory_order_acquire);
+        return tail - head;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+    alignas(kCacheLine) std::atomic<std::size_t> head_;
+    alignas(kCacheLine) std::atomic<std::size_t> tail_;
+};
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_SPSC_RING_HH

@@ -1,0 +1,131 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace preempt {
+
+double
+RunningStats::stddev() const
+{
+    double v = variance();
+    return v > 0 ? std::sqrt(v) : 0.0;
+}
+
+double
+hillTailIndex(std::vector<double> &samples, double tail_fraction)
+{
+    fatal_if(tail_fraction <= 0 || tail_fraction >= 1,
+             "tail_fraction must be in (0,1)");
+    std::size_t n = samples.size();
+    std::size_t k = static_cast<std::size_t>(
+        static_cast<double>(n) * tail_fraction);
+    if (k < 8)
+        return std::numeric_limits<double>::infinity();
+
+    std::sort(samples.begin(), samples.end());
+    // x_(n-k) is the threshold order statistic.
+    double xk = samples[n - k - 1];
+    if (xk <= 0)
+        return std::numeric_limits<double>::infinity();
+    double sum = 0;
+    for (std::size_t i = n - k; i < n; ++i) {
+        if (samples[i] <= 0)
+            continue;
+        sum += std::log(samples[i] / xk);
+    }
+    if (sum <= 0)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(k) / sum;
+}
+
+RequestStatsWindow::RequestStatsWindow(TimeNs horizon) : horizon_(horizon)
+{
+    fatal_if(horizon == 0, "stats window horizon must be > 0");
+}
+
+void
+RequestStatsWindow::onCompletion(TimeNs now, TimeNs latency,
+                                 TimeNs service_time)
+{
+    records_.push_back({now, latency, service_time});
+    expire(now);
+}
+
+void
+RequestStatsWindow::expire(TimeNs now)
+{
+    TimeNs cutoff = now > horizon_ ? now - horizon_ : 0;
+    while (!records_.empty() && records_.front().time < cutoff)
+        records_.pop_front();
+}
+
+double
+RequestStatsWindow::throughputRps(TimeNs now) const
+{
+    if (records_.empty())
+        return 0.0;
+    TimeNs span = std::min<TimeNs>(horizon_, now);
+    if (span == 0)
+        return 0.0;
+    return static_cast<double>(records_.size()) / nsToSec(span);
+}
+
+TimeNs
+RequestStatsWindow::medianLatency() const
+{
+    if (records_.empty())
+        return 0;
+    std::vector<TimeNs> lat;
+    lat.reserve(records_.size());
+    for (const auto &r : records_)
+        lat.push_back(r.latency);
+    std::size_t mid = lat.size() / 2;
+    std::nth_element(lat.begin(), lat.begin() + static_cast<long>(mid),
+                     lat.end());
+    return lat[mid];
+}
+
+TimeNs
+RequestStatsWindow::tailLatency() const
+{
+    if (records_.empty())
+        return 0;
+    std::vector<TimeNs> lat;
+    lat.reserve(records_.size());
+    for (const auto &r : records_)
+        lat.push_back(r.latency);
+    std::size_t idx = static_cast<std::size_t>(
+        0.99 * static_cast<double>(lat.size()));
+    if (idx >= lat.size())
+        idx = lat.size() - 1;
+    std::nth_element(lat.begin(), lat.begin() + static_cast<long>(idx),
+                     lat.end());
+    return lat[idx];
+}
+
+double
+RequestStatsWindow::meanServiceNs() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &r : records_)
+        sum += static_cast<double>(r.service);
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+RequestStatsWindow::tailIndex() const
+{
+    std::vector<double> service;
+    service.reserve(records_.size());
+    for (const auto &r : records_)
+        service.push_back(static_cast<double>(r.service));
+    return hillTailIndex(service);
+}
+
+} // namespace preempt

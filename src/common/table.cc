@@ -1,0 +1,74 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+namespace preempt {
+
+ConsoleTable::ConsoleTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+ConsoleTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+ConsoleTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+ConsoleTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+ConsoleTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cells[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+ConsoleTable::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+} // namespace preempt

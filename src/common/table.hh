@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Column-aligned console tables so every bench binary prints the same
+ * rows/series the paper reports in a readable form.
+ */
+
+#ifndef PREEMPT_COMMON_TABLE_HH
+#define PREEMPT_COMMON_TABLE_HH
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace preempt {
+
+/** Accumulates rows of string cells and prints them aligned. */
+class ConsoleTable
+{
+  public:
+    /** @param title printed above the table. */
+    explicit ConsoleTable(std::string title);
+
+    /** Set header cells. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a row of preformatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render to the stream. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_TABLE_HH

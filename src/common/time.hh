@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Time types shared by the simulator and the host runtime.
+ *
+ * Simulated time is kept in nanoseconds as a 64-bit unsigned count.
+ * The evaluation platform of the paper runs at a fixed 1.7 GHz, so TSC
+ * cycles and nanoseconds convert with a fixed ratio.
+ */
+
+#ifndef PREEMPT_COMMON_TIME_HH
+#define PREEMPT_COMMON_TIME_HH
+
+#include <cstdint>
+
+namespace preempt {
+
+/** Simulated time in nanoseconds. */
+using TimeNs = std::uint64_t;
+
+/** TSC cycle count. */
+using Cycles = std::uint64_t;
+
+/** Fixed evaluation frequency from the paper (turbo off, 1.7 GHz). */
+inline constexpr double kCpuGhz = 1.7;
+
+/** An unreachable point in the future. */
+inline constexpr TimeNs kTimeNever = ~static_cast<TimeNs>(0);
+
+/** Convert nanoseconds to TSC cycles at the fixed frequency. */
+constexpr Cycles
+nsToCycles(TimeNs ns)
+{
+    return static_cast<Cycles>(static_cast<double>(ns) * kCpuGhz);
+}
+
+/** Convert TSC cycles to nanoseconds at the fixed frequency. */
+constexpr TimeNs
+cyclesToNs(Cycles cycles)
+{
+    return static_cast<TimeNs>(static_cast<double>(cycles) / kCpuGhz);
+}
+
+/** Convenience literals for simulated durations. */
+constexpr TimeNs usToNs(double us) { return static_cast<TimeNs>(us * 1e3); }
+constexpr TimeNs msToNs(double ms) { return static_cast<TimeNs>(ms * 1e6); }
+constexpr TimeNs secToNs(double s) { return static_cast<TimeNs>(s * 1e9); }
+constexpr double nsToUs(TimeNs ns) { return static_cast<double>(ns) / 1e3; }
+constexpr double nsToMs(TimeNs ns) { return static_cast<double>(ns) / 1e6; }
+constexpr double nsToSec(TimeNs ns) { return static_cast<double>(ns) / 1e9; }
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_TIME_HH

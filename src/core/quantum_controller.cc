@@ -1,0 +1,54 @@
+#include "core/quantum_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace preempt::core {
+
+QuantumController::QuantumController(QuantumControllerParams params,
+                                     TimeNs initial)
+    : params_(params), quantum_(initial), shrinks_(0), grows_(0)
+{
+    fatal_if(params_.tMin == 0 || params_.tMax < params_.tMin,
+             "controller requires 0 < tMin <= tMax");
+    quantum_ = std::clamp(quantum_, params_.tMin, params_.tMax);
+}
+
+TimeNs
+QuantumController::step(const ControlInputs &in)
+{
+    TimeNs before = quantum_;
+    double high = params_.highLoadFraction * in.maxLoadRps;
+    double low = params_.lowLoadFraction * in.maxLoadRps;
+
+    // Line 6-8: high load -> finer preemption for timely interrupts.
+    if (in.maxLoadRps > 0 && in.loadRps > high) {
+        quantum_ = quantum_ > params_.k1 + params_.tMin
+                       ? quantum_ - params_.k1
+                       : params_.tMin;
+    }
+
+    // Line 9-11: long queues or a heavy-tailed service law -> finer
+    // preemption to break head-of-line blocking.
+    bool heavy_tail = in.tailIndex >= 0 &&
+                      in.tailIndex < params_.heavyTailAlpha;
+    if (in.maxQueueLen > params_.queueThreshold || heavy_tail) {
+        quantum_ = quantum_ > params_.k2 + params_.tMin
+                       ? quantum_ - params_.k2
+                       : params_.tMin;
+    }
+
+    // Line 12-14: low load -> coarser preemption to save CPU cycles.
+    if (in.maxLoadRps > 0 && in.loadRps < low) {
+        quantum_ = std::min(quantum_ + params_.k3, params_.tMax);
+    }
+
+    if (quantum_ < before)
+        ++shrinks_;
+    else if (quantum_ > before)
+        ++grows_;
+    return quantum_;
+}
+
+} // namespace preempt::core

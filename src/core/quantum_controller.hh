@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Algorithm 1 from the paper: the adaptive time-quantum controller.
+ *
+ * Every control period the controller inspects the recent request
+ * statistics (load, queue lengths, fitted tail index of service times)
+ * and nudges the global time quantum:
+ *   - load above L_high            -> shrink by k1 (clamp at T_min)
+ *   - queues long or heavy tail    -> shrink by k2 (clamp at T_min)
+ *   - load below L_low             -> grow by k3 (clamp at T_max)
+ */
+
+#ifndef PREEMPT_CORE_QUANTUM_CONTROLLER_HH
+#define PREEMPT_CORE_QUANTUM_CONTROLLER_HH
+
+#include <cstddef>
+
+#include "common/stats.hh"
+#include "common/time.hh"
+
+namespace preempt::core {
+
+/** Hyperparameters of Algorithm 1. */
+struct QuantumControllerParams
+{
+    /** Load thresholds as fractions of estimated max load
+     *  (paper: 90% and 10%). */
+    double highLoadFraction = 0.9;
+    double lowLoadFraction = 0.1;
+
+    /** Additive steps (paper: k1, k2, k3). */
+    TimeNs k1 = usToNs(5);
+    TimeNs k2 = usToNs(3);
+    TimeNs k3 = usToNs(5);
+
+    /** Queue-length trigger (paper: Q_threshold). */
+    std::size_t queueThreshold = 32;
+
+    /** Tail-index boundary: alpha in [0, 2) is heavy tailed. */
+    double heavyTailAlpha = 2.0;
+
+    /** Quantum bounds (paper: T_min = 3 us via UINTR). */
+    TimeNs tMin = usToNs(3);
+    TimeNs tMax = usToNs(100);
+
+    /** Control period (paper: 10 s; benches scale it down). */
+    TimeNs period = secToNs(10);
+};
+
+/** Inputs sampled at each control step. */
+struct ControlInputs
+{
+    double loadRps = 0;       ///< measured arrival/completion rate
+    double maxLoadRps = 0;    ///< capacity estimate
+    std::size_t maxQueueLen = 0;
+    double tailIndex = 0;     ///< fitted alpha (inf when unknown)
+};
+
+/** The controller state machine (pure logic; no simulator coupling). */
+class QuantumController
+{
+  public:
+    QuantumController(QuantumControllerParams params, TimeNs initial);
+
+    /**
+     * One control step (lines 4-14 of Algorithm 1).
+     * @return the updated time quantum.
+     */
+    TimeNs step(const ControlInputs &in);
+
+    TimeNs quantum() const { return quantum_; }
+
+    const QuantumControllerParams &params() const { return params_; }
+
+    /** Number of decisions that shrank / grew the quantum. */
+    std::uint64_t shrinks() const { return shrinks_; }
+    std::uint64_t grows() const { return grows_; }
+
+  private:
+    QuantumControllerParams params_;
+    TimeNs quantum_;
+    std::uint64_t shrinks_;
+    std::uint64_t grows_;
+};
+
+} // namespace preempt::core
+
+#endif // PREEMPT_CORE_QUANTUM_CONTROLLER_HH

@@ -1,0 +1,139 @@
+#include "core/timing_wheel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace preempt::core {
+
+TimingWheel::TimingWheel(TimeNs tick, std::size_t slots, int levels)
+    : tick_(tick), slotCount_(slots), levels_(levels), now_(0), nextId_(1),
+      live_(0)
+{
+    fatal_if(tick == 0, "timing wheel tick must be > 0");
+    fatal_if(slots < 2 || (slots & (slots - 1)) != 0,
+             "slot count must be a power of two >= 2");
+    fatal_if(levels < 1 || levels > 8, "levels must be in [1,8]");
+    slots_.resize(static_cast<std::size_t>(levels) * slotCount_);
+}
+
+std::vector<TimingWheel::Entry> &
+TimingWheel::slot(int level, std::size_t index)
+{
+    return slots_[static_cast<std::size_t>(level) * slotCount_ + index];
+}
+
+TimeNs
+TimingWheel::horizon() const
+{
+    TimeNs span = tick_;
+    for (int l = 0; l < levels_; ++l)
+        span *= slotCount_;
+    return now_ + span;
+}
+
+void
+TimingWheel::place(Entry entry)
+{
+    // Entries land no earlier than the next processed tick; already-
+    // expired deadlines fire on the next advance.
+    TimeNs when = std::max(entry.when, now_ + tick_);
+    TimeNs width = tick_;
+    for (int level = 0; level < levels_; ++level) {
+        TimeNs span = width * slotCount_;
+        // Does this deadline land within this level's span from now?
+        if (when < now_ + span || level == levels_ - 1) {
+            std::size_t index = static_cast<std::size_t>(
+                (when / width) & (slotCount_ - 1));
+            slot(level, index).push_back(entry);
+            return;
+        }
+        width = span;
+    }
+}
+
+std::uint64_t
+TimingWheel::schedule(TimeNs when, std::uint64_t cookie)
+{
+    Entry e{nextId_++, when, cookie};
+    place(e);
+    ++live_;
+    return e.id;
+}
+
+bool
+TimingWheel::cancel(std::uint64_t id)
+{
+    if (id == 0 || id >= nextId_)
+        return false;
+    auto [it, inserted] = cancelled_.emplace(id, true);
+    if (!inserted)
+        return false;
+    if (live_ > 0)
+        --live_;
+    return true;
+}
+
+void
+TimingWheel::advance(TimeNs now, const ExpireFn &fn)
+{
+    panic_if(now < now_, "timing wheel cannot run backwards");
+    std::vector<Entry> expired;
+
+    while (now_ < now) {
+        // Fast-forward across empty space.
+        if (live_ == 0) {
+            now_ = now;
+            break;
+        }
+        now_ += tick_;
+        if (now_ > now)
+            now_ = now;
+
+        std::size_t idx0 = static_cast<std::size_t>(
+            (now_ / tick_) & (slotCount_ - 1));
+        // Cascade outer levels when an inner level wraps.
+        if (idx0 == 0) {
+            TimeNs width = tick_;
+            for (int level = 1; level < levels_; ++level) {
+                width *= slotCount_;
+                std::size_t idx = static_cast<std::size_t>(
+                    (now_ / width) & (slotCount_ - 1));
+                std::vector<Entry> moving;
+                moving.swap(slot(level, idx));
+                for (Entry &e : moving)
+                    place(e);
+                if (idx != 0)
+                    break;
+            }
+        }
+
+        // Swap the bucket out before re-placing: a wrap-around entry
+        // may land right back in this slot for a later revolution.
+        std::vector<Entry> bucket;
+        bucket.swap(slot(0, idx0));
+        for (Entry &e : bucket) {
+            if (e.when <= now_)
+                expired.push_back(e);
+            else
+                place(e);
+        }
+    }
+
+    std::sort(expired.begin(), expired.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.when != b.when ? a.when < b.when : a.id < b.id;
+              });
+    for (const Entry &e : expired) {
+        auto it = cancelled_.find(e.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        panic_if(live_ == 0, "timing wheel accounting underflow");
+        --live_;
+        fn(e.cookie, e.when);
+    }
+}
+
+} // namespace preempt::core

@@ -1,0 +1,69 @@
+#include "hw/ipc.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace preempt::hw {
+
+std::vector<IpcMechanism>
+allIpcMechanisms(const LatencyConfig &cfg)
+{
+    std::vector<IpcMechanism> out;
+    out.push_back({IpcKind::Signal, "signal",
+                   cfg.syscallCost, 0, cfg.signalDelivery, true});
+    out.push_back({IpcKind::MessageQueue, "mq",
+                   cfg.syscallCost, 0, cfg.mqDelivery, true});
+    out.push_back({IpcKind::Pipe, "pipe",
+                   cfg.syscallCost, 0, cfg.pipeDelivery, true});
+    out.push_back({IpcKind::EventFd, "eventFD",
+                   cfg.syscallCost, 0, cfg.eventfdDelivery, true});
+    out.push_back({IpcKind::UintrFd, "uintrFd",
+                   cfg.senduipiCost, 380, cfg.uintrRunning, false});
+    out.push_back({IpcKind::UintrFdBlocked, "uintrFd (blocked)",
+                   cfg.senduipiCost, 0, cfg.uintrBlocked, false});
+    return out;
+}
+
+IpcMechanism
+ipcMechanism(IpcKind kind, const LatencyConfig &cfg)
+{
+    for (auto &m : allIpcMechanisms(cfg)) {
+        if (m.kind == kind)
+            return m;
+    }
+    panic("unknown IPC mechanism kind");
+}
+
+IpcBenchResult
+runIpcPingPong(const IpcMechanism &mech, std::uint64_t n,
+               std::uint64_t seed)
+{
+    fatal_if(n == 0, "ping-pong needs at least one message");
+    Rng rng(seed);
+    RunningStats stats;
+    double min_ns = -1;
+    double total_ns = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TimeNs lat = mech.oneWay.sample(rng);
+        double v = static_cast<double>(lat);
+        stats.add(v);
+        if (min_ns < 0 || v < min_ns)
+            min_ns = v;
+        // The sustained message rate includes the sender's issue cost
+        // because ping-pong alternates roles.
+        total_ns += v + static_cast<double>(mech.senderCost) +
+                    static_cast<double>(mech.receiverCost);
+    }
+    IpcBenchResult res;
+    res.name = mech.name;
+    res.avgUs = stats.mean() / 1e3;
+    res.minUs = min_ns / 1e3;
+    res.stdUs = stats.stddev() / 1e3;
+    res.rateMsgPerSec = static_cast<double>(n) / (total_ns / 1e9);
+    return res;
+}
+
+} // namespace preempt::hw

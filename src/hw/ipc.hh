@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Catalogue of modelled IPC / event-notification mechanisms used by
+ * the Table IV microbenchmark and the Fig. 1 motivation experiment.
+ *
+ * Each mechanism is characterised by a sender-side issue cost and a
+ * calibrated one-way delivery-latency distribution.
+ */
+
+#ifndef PREEMPT_HW_IPC_HH
+#define PREEMPT_HW_IPC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/time.hh"
+#include "hw/latency_config.hh"
+
+namespace preempt::hw {
+
+/** Identity of a modelled notification mechanism. */
+enum class IpcKind
+{
+    Signal,
+    MessageQueue,
+    Pipe,
+    EventFd,
+    UintrFd,
+    UintrFdBlocked,
+};
+
+/** Static description + latency model of one mechanism. */
+struct IpcMechanism
+{
+    IpcKind kind;
+    std::string name;
+    /** CPU cost paid by the sender to issue the notification. */
+    TimeNs senderCost;
+    /** Receiver-side cost outside the delivery path (handler body,
+     *  uiret, re-entering the wait loop). */
+    TimeNs receiverCost;
+    /** One-way latency: issue -> receiver handler/wakeup. */
+    JitterSpec oneWay;
+    /** True when delivery transits the kernel. */
+    bool viaKernel;
+};
+
+/** All mechanisms of Table IV, built from a latency configuration. */
+std::vector<IpcMechanism> allIpcMechanisms(const LatencyConfig &cfg);
+
+/** Lookup by kind. */
+IpcMechanism ipcMechanism(IpcKind kind, const LatencyConfig &cfg);
+
+/** Result of a simulated ping-pong microbenchmark run. */
+struct IpcBenchResult
+{
+    std::string name;
+    double avgUs;
+    double minUs;
+    double stdUs;
+    double rateMsgPerSec;
+};
+
+/**
+ * Run the Table IV experiment: n one-way notifications through the
+ * mechanism, measuring delivery latency statistics and sustained
+ * message rate.
+ */
+IpcBenchResult runIpcPingPong(const IpcMechanism &mech, std::uint64_t n,
+                              std::uint64_t seed);
+
+} // namespace preempt::hw
+
+#endif // PREEMPT_HW_IPC_HH

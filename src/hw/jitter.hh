@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Latency jitter specification used by all hardware cost models.
+ *
+ * Measured interrupt/IPC latencies have a hard floor (the fast path)
+ * plus a right-skewed tail. We model each as
+ * floor + LogNormal(mean, std), with the log-normal moments matched to
+ * the calibration target, so simulated min/avg/std land on the
+ * measured values by construction.
+ */
+
+#ifndef PREEMPT_HW_JITTER_HH
+#define PREEMPT_HW_JITTER_HH
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/time.hh"
+
+namespace preempt::hw {
+
+/** floor + log-normal jitter with calibrated mean/std (nanoseconds). */
+struct JitterSpec
+{
+    double floorNs = 0;  ///< minimum achievable latency
+    double meanNs = 0;   ///< mean of the jitter above the floor
+    double stdNs = 0;    ///< standard deviation of the jitter
+
+    /** Expected value of a sample. */
+    double expectedNs() const { return floorNs + meanNs; }
+
+    /** Draw one latency sample. */
+    TimeNs
+    sample(Rng &rng) const
+    {
+        if (meanNs <= 0)
+            return static_cast<TimeNs>(floorNs);
+        double m = meanNs;
+        double s = stdNs > 0 ? stdNs : meanNs * 0.25;
+        double sigma2 = std::log(1.0 + (s * s) / (m * m));
+        double mu = std::log(m) - 0.5 * sigma2;
+        double sigma = std::sqrt(sigma2);
+        // Box-Muller normal draw.
+        double u1 = 1.0 - rng.uniform();
+        double u2 = rng.uniform();
+        double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+        double v = floorNs + std::exp(mu + sigma * z);
+        return v <= 0 ? 0 : static_cast<TimeNs>(v + 0.5);
+    }
+};
+
+} // namespace preempt::hw
+
+#endif // PREEMPT_HW_JITTER_HH

@@ -1,0 +1,93 @@
+#include "hw/kernel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace preempt::hw {
+
+SignalPath::SignalPath(sim::Simulator &sim, const LatencyConfig &cfg)
+    : sim_(sim), cfg_(cfg), rng_(sim.rng().fork(0x7369676e)),
+      lockFreeAt_(0), delivered_(0), totalQueueingNs_(0)
+{
+}
+
+void
+SignalPath::sendSignal(std::function<void(TimeNs, TimeNs)> handler)
+{
+    panic_if(!handler, "signal without a handler");
+    TimeNs now = sim_.now();
+    // FIFO kernel lock: queueing delay grows with in-flight signals.
+    TimeNs start = std::max(now, lockFreeAt_);
+    TimeNs queueing = start - now;
+    lockFreeAt_ = start + cfg_.signalLockHold;
+
+    TimeNs path = cfg_.signalDelivery.sample(rng_);
+    TimeNs entry_delay = queueing + path + cfg_.signalHandlerCost;
+    sim_.after(entry_delay, [this, handler = std::move(handler), queueing,
+                             entry_delay](TimeNs t) {
+        ++delivered_;
+        totalQueueingNs_ += static_cast<double>(queueing);
+        handler(t, entry_delay);
+    });
+}
+
+double
+SignalPath::meanQueueingNs() const
+{
+    return delivered_ ? totalQueueingNs_ / static_cast<double>(delivered_)
+                      : 0.0;
+}
+
+KernelTimer::KernelTimer(sim::Simulator &sim, const LatencyConfig &cfg,
+                         SignalPath &signals)
+    : sim_(sim), cfg_(cfg), signals_(signals),
+      rng_(sim.rng().fork(0x74696d72)), generation_(0), periodic_(false),
+      effectiveInterval_(0), baseline_(0), expiryIndex_(0), expiries_(0)
+{
+}
+
+TimeNs
+KernelTimer::arm(TimeNs interval, bool periodic,
+                 std::function<void(TimeNs, TimeNs)> handler)
+{
+    fatal_if(interval == 0, "kernel timer interval must be > 0");
+    ++generation_;
+    periodic_ = periodic;
+    handler_ = std::move(handler);
+    effectiveInterval_ = std::max(interval, cfg_.kernelTimerFloor);
+    baseline_ = sim_.now();
+    expiryIndex_ = 1;
+    scheduleExpiry();
+    return cfg_.timerProgramCost + cfg_.syscallCost;
+}
+
+TimeNs
+KernelTimer::disarm()
+{
+    ++generation_;
+    handler_ = nullptr;
+    return cfg_.timerProgramCost + cfg_.syscallCost;
+}
+
+void
+KernelTimer::scheduleExpiry()
+{
+    std::uint64_t gen = generation_;
+    TimeNs jitter = cfg_.kernelTimerJitter.sample(rng_);
+    // hrtimers expire against absolute times: each expiry stays
+    // phase-aligned with the arm time, so timers armed together keep
+    // contending forever (the Fig. 11 creation-time pathology).
+    TimeNs expiry = baseline_ + effectiveInterval_ * expiryIndex_ + jitter;
+    ++expiryIndex_;
+    sim_.at(std::max(expiry, sim_.now()), [this, gen](TimeNs) {
+        if (gen != generation_ || !handler_)
+            return;
+        ++expiries_;
+        signals_.sendSignal(handler_);
+        if (periodic_ && gen == generation_)
+            scheduleExpiry();
+    });
+}
+
+} // namespace preempt::hw

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Kernel cost models: signal delivery with the serialized in-kernel
+ * critical section that causes timer-signal contention (Fig. 11), and
+ * POSIX kernel timers with their granularity floor and jitter
+ * (Fig. 12).
+ */
+
+#ifndef PREEMPT_HW_KERNEL_HH
+#define PREEMPT_HW_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hh"
+#include "hw/latency_config.hh"
+#include "sim/simulator.hh"
+
+namespace preempt::hw {
+
+/**
+ * Kernel signal delivery path. Every in-flight signal serialises on a
+ * shared kernel lock (modelled as a FIFO server with a fixed hold
+ * time), so signals issued simultaneously to many threads queue behind
+ * one another — the superlinear effect in Fig. 11's "creation-time"
+ * per-thread timers.
+ */
+class SignalPath
+{
+  public:
+    SignalPath(sim::Simulator &sim, const LatencyConfig &cfg);
+
+    /**
+     * Deliver a signal to a thread.
+     *
+     * @param handler invoked at handler-entry time with (now, total
+     *                delivery delay from issue to handler entry,
+     *                including kernel-lock queueing).
+     */
+    void sendSignal(std::function<void(TimeNs, TimeNs)> handler);
+
+    /** Signals delivered so far. */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /** Mean kernel queueing delay per delivered signal. */
+    double meanQueueingNs() const;
+
+  private:
+    sim::Simulator &sim_;
+    LatencyConfig cfg_;
+    Rng rng_;
+    TimeNs lockFreeAt_;
+    std::uint64_t delivered_;
+    double totalQueueingNs_;
+};
+
+/**
+ * POSIX per-thread kernel timer (timer_create/timer_settime). Expiry
+ * respects the kernel granularity floor and jitter, and each expiry is
+ * delivered through the SignalPath.
+ */
+class KernelTimer
+{
+  public:
+    /**
+     * @param sim simulation driver
+     * @param cfg cost model
+     * @param signals shared signal path (kernel lock domain)
+     */
+    KernelTimer(sim::Simulator &sim, const LatencyConfig &cfg,
+                SignalPath &signals);
+
+    /**
+     * Arm (or re-arm) the timer.
+     *
+     * @param interval requested interval; clamped to the kernel floor.
+     * @param periodic when true the timer re-arms itself on expiry.
+     * @param handler  called at signal-handler entry with (now, total
+     *                 signal delivery delay).
+     * @return the syscall cost paid by the calling thread.
+     */
+    TimeNs arm(TimeNs interval, bool periodic,
+               std::function<void(TimeNs, TimeNs)> handler);
+
+    /** Disarm; pending expiries are dropped. */
+    TimeNs disarm();
+
+    /** Effective interval after the granularity clamp. */
+    TimeNs effectiveInterval() const { return effectiveInterval_; }
+
+    std::uint64_t expiries() const { return expiries_; }
+
+  private:
+    void scheduleExpiry();
+
+    sim::Simulator &sim_;
+    LatencyConfig cfg_;
+    SignalPath &signals_;
+    Rng rng_;
+    std::uint64_t generation_;
+    bool periodic_;
+    TimeNs effectiveInterval_;
+    TimeNs baseline_;        ///< arm time; expiries stay phase-aligned
+    std::uint64_t expiryIndex_;
+    std::function<void(TimeNs, TimeNs)> handler_;
+    std::uint64_t expiries_;
+};
+
+} // namespace preempt::hw
+
+#endif // PREEMPT_HW_KERNEL_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Calibration constants for every modelled hardware/kernel mechanism.
+ *
+ * Values come from the paper where it reports them (Table IV IPC
+ * latencies; 3 us minimum LibUtimer time slice; ~60 us kernel-timer
+ * granularity floor in Fig. 12; 1.2 W polling-core power) and from the
+ * published Shinjuku/Libinger numbers otherwise. The sensitivity of
+ * the headline results to these constants is explored by
+ * bench/ablation_latency_sensitivity.
+ */
+
+#ifndef PREEMPT_HW_LATENCY_CONFIG_HH
+#define PREEMPT_HW_LATENCY_CONFIG_HH
+
+#include "common/time.hh"
+#include "hw/jitter.hh"
+
+namespace preempt::hw {
+
+/** All tunable cost constants of the simulated platform. */
+struct LatencyConfig
+{
+    // ----- CPU ------------------------------------------------------
+    /** Fixed core frequency (paper: 1.7 GHz, turbo off). */
+    double cpuGhz = kCpuGhz;
+
+    // ----- UINTR (Table IV: uintrFd 0.734/0.512/0.698 us running,
+    //              2.393/2.048/0.212 us blocked) ---------------------
+    /** SENDUIPI issue cost on the sender core. */
+    TimeNs senduipiCost = 55;
+    /** Posting -> handler entry, receiver running with UIF set. */
+    JitterSpec uintrRunning{512, 222, 698};
+    /** Posting -> resume, receiver blocked in the kernel (ordinary
+     *  interrupt unblocks it and the user interrupt is injected). */
+    JitterSpec uintrBlocked{2048, 345, 212};
+    /** Handler prologue + uiret epilogue around a delivery. */
+    TimeNs uintrHandlerCost = 95;
+    /** Recognition delay when UIF is re-enabled with pending PIR. */
+    TimeNs uintrRecognition = 25;
+
+    // ----- Kernel signals (Table IV: 15.325/3.584/3.478 us) ---------
+    /** One-way kernel signal delivery, uncontended. */
+    JitterSpec signalDelivery{3584, 11741, 3478};
+    /** Signal-handler user-space trampoline (sigreturn etc.). */
+    TimeNs signalHandlerCost = 550;
+    /** Serialized kernel critical section per signal (sighand lock);
+     *  the source of superlinear scaling in Fig. 11. */
+    TimeNs signalLockHold = 2500;
+
+    // ----- Other kernel IPC (Table IV) -------------------------------
+    JitterSpec mqDelivery{8960, 1508, 2017};
+    JitterSpec pipeDelivery{10240, 7521, 4304};
+    JitterSpec eventfdDelivery{2816, 26872, 13612};
+
+    // ----- Kernel basics ---------------------------------------------
+    /** Syscall entry/exit. */
+    TimeNs syscallCost = 450;
+    /** Full kernel thread context switch. */
+    TimeNs kernelCtxSwitch = 1800;
+    /** timer_settime / timerfd_settime programming cost. */
+    TimeNs timerProgramCost = 750;
+    /** Effective kernel timer granularity floor (Fig. 12 shows the
+     *  kernel timer cannot go below ~60 us). */
+    TimeNs kernelTimerFloor = 60000;
+    /** Kernel timer expiry jitter (scheduler + hrtimer slack). */
+    JitterSpec kernelTimerJitter{0, 6000, 9000};
+
+    // ----- User-level context management -----------------------------
+    /** fcontext-style user context switch (save/restore regs). */
+    TimeNs userCtxSwitch = 40;
+    /** Scheduler decision cost per dispatch (queue ops, bookkeeping). */
+    TimeNs dispatchCost = 120;
+    /** fn_launch: context + stack allocation from the global pool. */
+    TimeNs fnLaunchCost = 80;
+    /** Idle worker's shared-memory queue poll latency. */
+    TimeNs workerQueuePoll = 100;
+
+    // ----- Shinjuku-style posted IPIs --------------------------------
+    /** Sender-side write to the ring-3-mapped APIC. */
+    TimeNs postedIpiSend = 90;
+    /** Delivery + receiver-side trampoline into the runtime. */
+    JitterSpec postedIpiDelivery{950, 380, 420};
+    /** The APIC approach supports only a bounded number of logical
+     *  cores (paper section I / VI). */
+    int apicMaxTargets = 32;
+    /** Shinjuku centralized-dispatcher handling cost per operation
+     *  (admit / assign / requeue / IPI initiation). */
+    TimeNs shinjukuDispatchCost = 300;
+    /** Granularity at which Shinjuku's dispatcher loop re-checks
+     *  worker elapsed time. */
+    TimeNs shinjukuPollNs = 500;
+    /** Receiver-side trap + trampoline into the Shinjuku runtime on a
+     *  posted IPI (ring transition, interrupt frame, runtime entry). */
+    TimeNs shinjukuTrapCost = 2000;
+    /** Practical minimum quantum for Shinjuku (needs profiling; below
+     *  ~5 us the IPI overhead dominates). */
+    TimeNs shinjukuMinQuantum = 5000;
+    /** Central run-queue lock hold time in Libinger-style runtimes
+     *  (few threads, warm line). */
+    TimeNs libingerLockHold = 150;
+    /** Serialized cost per dequeue of one central queue shared by many
+     *  cores: lock handoff + cache-line transfer bounce across
+     *  sockets/cores (the contention the two-level design avoids). */
+    TimeNs centralQueueLockHold = 500;
+
+    // ----- LibUtimer --------------------------------------------------
+    /** TSC poll loop iteration on the timer core (rdtsc + compare). */
+    TimeNs utimerPollInterval = 150;
+    /** Minimum supported time quantum (paper: 3 us). */
+    TimeNs utimerMinQuantum = 3000;
+    /** Deadline-array write (utimer_arm_deadline is one store). */
+    TimeNs utimerArmCost = 15;
+
+    // ----- Power ------------------------------------------------------
+    /** Polling timer core with UMWAIT (paper: ~1.2 W). */
+    double timerCoreWatts = 1.2;
+    /** Each additional timer core (paper: "minimal"). */
+    double extraTimerCoreWatts = 0.25;
+    /** Busy worker core at the fixed frequency. */
+    double workerCoreWatts = 5.5;
+
+    /** Default calibration as used by all benches. */
+    static LatencyConfig paperCalibrated() { return LatencyConfig{}; }
+};
+
+} // namespace preempt::hw
+
+#endif // PREEMPT_HW_LATENCY_CONFIG_HH

@@ -1,0 +1,92 @@
+#include "hw/machine.hh"
+
+#include "common/logging.hh"
+
+namespace preempt::hw {
+
+Machine::Machine(sim::Simulator &sim, const LatencyConfig &cfg, int n_cores)
+    : sim_(sim), cfg_(cfg)
+{
+    fatal_if(n_cores <= 0, "machine needs at least one core");
+    cores_.resize(static_cast<std::size_t>(n_cores));
+}
+
+Machine::CoreState &
+Machine::core(int c)
+{
+    panic_if(c < 0 || static_cast<std::size_t>(c) >= cores_.size(),
+             "invalid core id %d", c);
+    return cores_[static_cast<std::size_t>(c)];
+}
+
+const Machine::CoreState &
+Machine::core(int c) const
+{
+    panic_if(c < 0 || static_cast<std::size_t>(c) >= cores_.size(),
+             "invalid core id %d", c);
+    return cores_[static_cast<std::size_t>(c)];
+}
+
+void
+Machine::setRole(int c, CoreRole role)
+{
+    core(c).role = role;
+}
+
+CoreRole
+Machine::role(int c) const
+{
+    return core(c).role;
+}
+
+void
+Machine::addBusy(int c, TimeNs duration)
+{
+    core(c).busy += duration;
+}
+
+double
+Machine::utilization(int c) const
+{
+    TimeNs now = sim_.now();
+    if (now == 0)
+        return 0.0;
+    return static_cast<double>(core(c).busy) / static_cast<double>(now);
+}
+
+TimeNs
+Machine::totalBusy() const
+{
+    TimeNs total = 0;
+    for (const auto &c : cores_)
+        total += c.busy;
+    return total;
+}
+
+double
+Machine::powerWatts() const
+{
+    double watts = 0;
+    bool first_timer = true;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const CoreState &c = cores_[i];
+        switch (c.role) {
+          case CoreRole::Timer:
+            // First timer core pays the UMWAIT polling cost; extra
+            // timer cores are nearly free (paper section V-B).
+            watts += first_timer ? cfg_.timerCoreWatts
+                                 : cfg_.extraTimerCoreWatts;
+            first_timer = false;
+            break;
+          case CoreRole::Worker:
+          case CoreRole::Dispatcher:
+            watts += cfg_.workerCoreWatts * utilization(static_cast<int>(i));
+            break;
+          case CoreRole::Idle:
+            break;
+        }
+    }
+    return watts;
+}
+
+} // namespace preempt::hw

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulated machine: a set of cores with busy-time accounting and the
+ * power model used to justify the dedicated timer core (section V-B).
+ */
+
+#ifndef PREEMPT_HW_MACHINE_HH
+#define PREEMPT_HW_MACHINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hh"
+#include "hw/latency_config.hh"
+#include "sim/simulator.hh"
+
+namespace preempt::hw {
+
+/** Role a core plays in a runtime configuration. */
+enum class CoreRole { Worker, Dispatcher, Timer, Idle };
+
+/** A multicore machine with per-core accounting. */
+class Machine
+{
+  public:
+    /**
+     * @param sim simulation driver (for the clock)
+     * @param cfg cost calibration
+     * @param n_cores logical core count
+     */
+    Machine(sim::Simulator &sim, const LatencyConfig &cfg, int n_cores);
+
+    int numCores() const { return static_cast<int>(cores_.size()); }
+
+    /** Assign a role (affects the power model). */
+    void setRole(int core, CoreRole role);
+    CoreRole role(int core) const;
+
+    /** Account busy CPU time on a core. */
+    void addBusy(int core, TimeNs duration);
+
+    /** Busy fraction of a core over the elapsed simulation time. */
+    double utilization(int core) const;
+
+    /** Total busy time across all cores. */
+    TimeNs totalBusy() const;
+
+    /**
+     * Power draw estimate: timer cores poll with UMWAIT at the
+     * calibrated low wattage; worker/dispatcher cores are charged by
+     * utilization.
+     */
+    double powerWatts() const;
+
+    const LatencyConfig &config() const { return cfg_; }
+
+  private:
+    struct CoreState
+    {
+        CoreRole role = CoreRole::Idle;
+        TimeNs busy = 0;
+    };
+
+    CoreState &core(int core);
+    const CoreState &core(int core) const;
+
+    sim::Simulator &sim_;
+    LatencyConfig cfg_;
+    std::vector<CoreState> cores_;
+};
+
+} // namespace preempt::hw
+
+#endif // PREEMPT_HW_MACHINE_HH

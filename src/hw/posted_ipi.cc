@@ -1,0 +1,48 @@
+#include "hw/posted_ipi.hh"
+
+#include "common/logging.hh"
+
+namespace preempt::hw {
+
+PostedIpiUnit::PostedIpiUnit(sim::Simulator &sim, const LatencyConfig &cfg)
+    : sim_(sim), cfg_(cfg), rng_(sim.rng().fork(0x61706963))
+{
+}
+
+int
+PostedIpiUnit::attachTarget(Handler handler)
+{
+    fatal_if(!handler, "posted-IPI target needs a handler");
+    fatal_if(static_cast<int>(targets_.size()) >= cfg_.apicMaxTargets,
+             "APIC mapping supports at most %d logical targets",
+             cfg_.apicMaxTargets);
+    targets_.push_back(Target{std::move(handler), false});
+    return static_cast<int>(targets_.size()) - 1;
+}
+
+TimeNs
+PostedIpiUnit::sendIpi(int target)
+{
+    panic_if(target < 0 ||
+                 static_cast<std::size_t>(target) >= targets_.size(),
+             "posted IPI to unattached target %d", target);
+    ++stats_.sends;
+    Target &t = targets_[static_cast<std::size_t>(target)];
+    if (t.pending) {
+        // The APIC pending bit is already set; this send merges.
+        ++stats_.coalesced;
+        return cfg_.postedIpiSend;
+    }
+    t.pending = true;
+    TimeNs delay = cfg_.postedIpiDelivery.sample(rng_) +
+                   cfg_.shinjukuTrapCost;
+    sim_.after(delay, [this, target](TimeNs now) {
+        Target &tt = targets_[static_cast<std::size_t>(target)];
+        tt.pending = false;
+        ++stats_.delivered;
+        tt.handler(now);
+    });
+    return cfg_.postedIpiSend;
+}
+
+} // namespace preempt::hw

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Functional model of Shinjuku-style posted inter-processor
+ * interrupts: the dispatcher maps the physical APIC into its address
+ * space (ring 3) and writes the ICR directly to interrupt worker
+ * cores.
+ *
+ * The model captures the properties the paper contrasts with UINTR
+ * (sections I, VI, VII-B):
+ *  - sends are cheap MMIO writes but delivery interrupts the target in
+ *    ring 0 first (trap cost on the worker);
+ *  - the mapped APIC supports only a bounded number of logical
+ *    targets;
+ *  - *any* code with the mapping can flood any core — there is no
+ *    kernel-maintained target table, which is exactly the DoS exposure
+ *    LibPreemptible avoids. The model exposes this as an unrestricted
+ *    send interface plus flood accounting.
+ */
+
+#ifndef PREEMPT_HW_POSTED_IPI_HH
+#define PREEMPT_HW_POSTED_IPI_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hh"
+#include "hw/latency_config.hh"
+#include "sim/simulator.hh"
+
+namespace preempt::hw {
+
+/** Per-unit delivery statistics. */
+struct PostedIpiStats
+{
+    std::uint64_t sends = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t coalesced = 0; ///< sends merged into a pending IPI
+};
+
+/** A ring-3-mapped APIC as Shinjuku uses it. */
+class PostedIpiUnit
+{
+  public:
+    /** Handler invoked on the target when the IPI lands. */
+    using Handler = std::function<void(TimeNs)>;
+
+    PostedIpiUnit(sim::Simulator &sim, const LatencyConfig &cfg);
+
+    /**
+     * Attach a target logical core. Bounded by the APIC's target
+     * limit.
+     * @return target id for sendIpi().
+     */
+    int attachTarget(Handler handler);
+
+    /**
+     * Write the ICR: post an IPI to a target. No permission check —
+     * the mapping *is* the capability (the security problem the paper
+     * describes). Repeated sends while one is pending coalesce, as the
+     * APIC has a single pending bit per vector.
+     *
+     * @return sender-side MMIO cost.
+     */
+    TimeNs sendIpi(int target);
+
+    const PostedIpiStats &stats() const { return stats_; }
+
+    int targets() const { return static_cast<int>(targets_.size()); }
+
+  private:
+    struct Target
+    {
+        Handler handler;
+        bool pending = false;
+    };
+
+    sim::Simulator &sim_;
+    LatencyConfig cfg_;
+    Rng rng_;
+    std::vector<Target> targets_;
+    PostedIpiStats stats_;
+};
+
+} // namespace preempt::hw
+
+#endif // PREEMPT_HW_POSTED_IPI_HH

@@ -1,0 +1,258 @@
+#include "hw/uintr.hh"
+
+#include "common/logging.hh"
+
+namespace preempt::hw {
+
+UintrUnit::UintrUnit(sim::Simulator &sim, const LatencyConfig &cfg)
+    : sim_(sim), cfg_(cfg), rng_(sim.rng().fork(0x75696e74))
+{
+}
+
+UintrUnit::Receiver &
+UintrUnit::rx(int receiver)
+{
+    panic_if(receiver < 0 ||
+                 static_cast<std::size_t>(receiver) >= receivers_.size(),
+             "invalid uintr receiver id %d", receiver);
+    return receivers_[static_cast<std::size_t>(receiver)];
+}
+
+const UintrUnit::Receiver &
+UintrUnit::rx(int receiver) const
+{
+    panic_if(receiver < 0 ||
+                 static_cast<std::size_t>(receiver) >= receivers_.size(),
+             "invalid uintr receiver id %d", receiver);
+    return receivers_[static_cast<std::size_t>(receiver)];
+}
+
+int
+UintrUnit::registerHandler(Handler handler, WakeCallback wake)
+{
+    fatal_if(!handler, "uintr receiver requires a handler");
+    Receiver r;
+    r.handler = std::move(handler);
+    r.wake = std::move(wake);
+    receivers_.push_back(std::move(r));
+    return static_cast<int>(receivers_.size()) - 1;
+}
+
+int
+UintrUnit::createFd(int receiver, int vector)
+{
+    fatal_if(vector < 0 || vector >= 64,
+             "uintr vector %d out of range [0,64)", vector);
+    rx(receiver); // validate
+    fds_.push_back(FdEntry{receiver, vector, true});
+    return static_cast<int>(fds_.size()) - 1;
+}
+
+void
+UintrUnit::unregisterHandler(int receiver)
+{
+    Receiver &r = rx(receiver);
+    r.valid = false;
+    r.pir = 0;
+    r.on = false;
+    ++r.generation;
+    for (auto &fd : fds_) {
+        if (fd.receiver == receiver)
+            fd.valid = false;
+    }
+    for (auto &e : uitt_) {
+        if (e.receiver == receiver)
+            e.valid = false;
+    }
+}
+
+int
+UintrUnit::registerSender(int fd)
+{
+    fatal_if(fd < 0 || static_cast<std::size_t>(fd) >= fds_.size(),
+             "invalid uintr fd %d", fd);
+    const FdEntry &entry = fds_[static_cast<std::size_t>(fd)];
+    fatal_if(!entry.valid, "uintr fd %d has been closed", fd);
+    uitt_.push_back(UittEntry{entry.receiver, entry.vector, true});
+    return static_cast<int>(uitt_.size()) - 1;
+}
+
+TimeNs
+UintrUnit::senduipi(int uipi_index)
+{
+    panic_if(uipi_index < 0 ||
+                 static_cast<std::size_t>(uipi_index) >= uitt_.size(),
+             "SENDUIPI with invalid UITT index %d", uipi_index);
+    const UittEntry &entry = uitt_[static_cast<std::size_t>(uipi_index)];
+    ++stats_.sends;
+    if (!entry.valid)
+        return cfg_.senduipiCost; // dropped, like a closed fd
+
+    Receiver &r = rx(entry.receiver);
+    if (!r.valid)
+        return cfg_.senduipiCost;
+
+    r.pir |= 1ULL << entry.vector;
+    notify(entry.receiver);
+    return cfg_.senduipiCost;
+}
+
+void
+UintrUnit::notify(int receiver)
+{
+    Receiver &r = rx(receiver);
+    if (r.pir == 0 || r.on)
+        return;
+
+    if (r.blocked) {
+        // Ordinary interrupt unblocks the receiver; the user interrupt
+        // is injected when it resumes (higher calibrated latency).
+        r.on = true;
+        std::uint64_t gen = r.generation;
+        TimeNs delay = cfg_.uintrBlocked.sample(rng_);
+        sim_.after(delay, [this, receiver, gen](TimeNs now) {
+            Receiver &rr = rx(receiver);
+            if (!rr.valid || rr.generation != gen)
+                return;
+            rr.on = false;
+            rr.blocked = false;
+            rr.running = true;
+            ++stats_.deliveredBlocked;
+            if (rr.wake)
+                rr.wake(now);
+            deliverNow(receiver, now);
+        });
+        return;
+    }
+
+    if (!r.running || !r.uifFlag) {
+        // SN effectively set: the request is recorded in the PIR and
+        // the notification suppressed until the receiver is eligible.
+        ++stats_.suppressed;
+        return;
+    }
+
+    r.on = true;
+    std::uint64_t gen = r.generation;
+    TimeNs delay = cfg_.uintrRunning.sample(rng_);
+    sim_.after(delay, [this, receiver, gen](TimeNs now) {
+        Receiver &rr = rx(receiver);
+        if (!rr.valid || rr.generation != gen)
+            return;
+        rr.on = false;
+        if (!rr.running || !rr.uifFlag || rr.blocked) {
+            // The receiver lost eligibility while the notification was
+            // in flight; the PIR keeps the request pending.
+            ++stats_.spurious;
+            return;
+        }
+        ++stats_.deliveredRunning;
+        deliverNow(receiver, now);
+    });
+}
+
+void
+UintrUnit::deliverNow(int receiver, TimeNs now)
+{
+    Receiver &r = rx(receiver);
+    std::uint64_t vectors = r.pir;
+    if (vectors == 0)
+        return;
+    r.pir = 0;
+    // The CPU clears UIF on delivery; uiret() restores it.
+    r.uifFlag = false;
+    r.handler(now, vectors);
+}
+
+void
+UintrUnit::uiret(int receiver)
+{
+    Receiver &r = rx(receiver);
+    r.uifFlag = true;
+    if (r.pir != 0 && r.running && !r.blocked && !r.on) {
+        std::uint64_t gen = r.generation;
+        sim_.after(cfg_.uintrRecognition, [this, receiver, gen](TimeNs t) {
+            Receiver &rr = rx(receiver);
+            if (!rr.valid || rr.generation != gen)
+                return;
+            if (rr.running && rr.uifFlag && !rr.blocked) {
+                ++stats_.deliveredRunning;
+                deliverNow(receiver, t);
+            }
+        });
+    }
+}
+
+void
+UintrUnit::setRunning(int receiver, bool running)
+{
+    Receiver &r = rx(receiver);
+    r.running = running;
+    if (running) {
+        r.blocked = false;
+        if (r.pir != 0 && r.uifFlag && !r.on) {
+            std::uint64_t gen = r.generation;
+            sim_.after(cfg_.uintrRecognition,
+                       [this, receiver, gen](TimeNs t) {
+                Receiver &rr = rx(receiver);
+                if (!rr.valid || rr.generation != gen)
+                    return;
+                if (rr.running && rr.uifFlag && !rr.blocked) {
+                    ++stats_.deliveredRunning;
+                    deliverNow(receiver, t);
+                }
+            });
+        }
+    }
+}
+
+void
+UintrUnit::setBlocked(int receiver, bool blocked)
+{
+    Receiver &r = rx(receiver);
+    r.blocked = blocked;
+    if (blocked) {
+        r.running = false;
+        if (r.pir != 0 && !r.on)
+            notify(receiver); // blocked receivers are woken by sends
+    } else {
+        setRunning(receiver, true);
+    }
+}
+
+void
+UintrUnit::setUif(int receiver, bool uif)
+{
+    Receiver &r = rx(receiver);
+    if (uif && !r.uifFlag) {
+        uiret(receiver);
+    } else {
+        r.uifFlag = uif;
+    }
+}
+
+bool
+UintrUnit::running(int receiver) const
+{
+    return rx(receiver).running;
+}
+
+bool
+UintrUnit::blocked(int receiver) const
+{
+    return rx(receiver).blocked;
+}
+
+bool
+UintrUnit::uif(int receiver) const
+{
+    return rx(receiver).uifFlag;
+}
+
+std::uint64_t
+UintrUnit::pending(int receiver) const
+{
+    return rx(receiver).pir;
+}
+
+} // namespace preempt::hw

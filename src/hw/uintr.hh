@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Functional model of Intel User Interrupts (UINTR).
+ *
+ * Implements the architectural state machine described in section III
+ * of the paper and the Intel SDM: each receiver has a User Posted
+ * Interrupt Descriptor (UPID) with a 64-bit pending-interrupt request
+ * field (PIR), an outstanding-notification bit (ON) and a suppress bit
+ * (SN, modelled through the running/UIF state); each sender has a User
+ * Interrupt Target Table (UITT) of (UPID, vector) entries indexed by
+ * SENDUIPI.
+ *
+ * Setup follows the native kernel API of Fig. 4:
+ *   receiver: registerHandler() then createFd(vector)
+ *   sender:   registerSender(fd) -> uipi index, then senduipi(index)
+ *
+ * Delivery semantics:
+ *  - receiver running with UIF set: notification posted; handler entry
+ *    after the calibrated running-delivery latency; UIF is cleared for
+ *    the duration of the handler and restored by uiret().
+ *  - receiver running with UIF clear, or descheduled: the vector
+ *    accumulates in the PIR and is recognised when UIF is restored or
+ *    the receiver is scheduled again.
+ *  - receiver blocked in the kernel: an ordinary interrupt unblocks it
+ *    (higher calibrated latency) and the user interrupt is injected on
+ *    wakeup.
+ */
+
+#ifndef PREEMPT_HW_UINTR_HH
+#define PREEMPT_HW_UINTR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hh"
+#include "hw/latency_config.hh"
+#include "sim/simulator.hh"
+
+namespace preempt::hw {
+
+/** Aggregate delivery statistics for the unit. */
+struct UintrStats
+{
+    std::uint64_t sends = 0;
+    std::uint64_t deliveredRunning = 0;
+    std::uint64_t deliveredBlocked = 0;
+    std::uint64_t suppressed = 0;   ///< sends absorbed into the PIR
+    std::uint64_t spurious = 0;     ///< notifications that found the
+                                    ///< receiver no longer eligible
+};
+
+/** Models the UINTR hardware shared by all threads of a machine. */
+class UintrUnit
+{
+  public:
+    /**
+     * Handler invoked at delivery time with the set of pending vectors
+     * (a 64-bit mask). The receiver's UIF is clear during the handler;
+     * the runtime must call uiret() when the handler logically
+     * finishes.
+     */
+    using Handler = std::function<void(TimeNs now, std::uint64_t vectors)>;
+
+    /** Invoked when a blocked receiver is woken by a user interrupt. */
+    using WakeCallback = std::function<void(TimeNs now)>;
+
+    UintrUnit(sim::Simulator &sim, const LatencyConfig &cfg);
+
+    // ----- Receiver-side setup (uintr_register_handler & friends) ---
+
+    /**
+     * Register a receiver thread and its interrupt handler.
+     * The receiver starts running with UIF set.
+     * @return receiver id.
+     */
+    int registerHandler(Handler handler, WakeCallback wake = nullptr);
+
+    /**
+     * Create a uintr file descriptor for (receiver, vector); senders
+     * use it to obtain a UITT entry.
+     * @return fd token.
+     */
+    int createFd(int receiver, int vector);
+
+    /** Tear down a receiver; outstanding sends to it are dropped. */
+    void unregisterHandler(int receiver);
+
+    // ----- Sender-side setup (uintr_register_sender) -----------------
+
+    /**
+     * Allocate a UITT entry from a uintr fd.
+     * @return uipi index for senduipi().
+     */
+    int registerSender(int fd);
+
+    // ----- Delivery ---------------------------------------------------
+
+    /**
+     * SENDUIPI: post the vector to the target's UPID and notify.
+     * @return the sender-side issue cost (the caller accounts it).
+     */
+    TimeNs senduipi(int uipi_index);
+
+    /** Restore UIF after a handler completes; recognises pending PIR. */
+    void uiret(int receiver);
+
+    // ----- Receiver scheduling state (driven by the runtime model) ---
+
+    /** Mark the receiver on-CPU / descheduled. */
+    void setRunning(int receiver, bool running);
+
+    /** Mark the receiver blocked in the kernel (e.g. in read()). */
+    void setBlocked(int receiver, bool blocked);
+
+    /**
+     * uintr_wait(): the native blocking call — the receiver parks in
+     * the kernel until a user interrupt arrives (Fig. 4). Equivalent
+     * to setBlocked(receiver, true); the wake callback fires when a
+     * sender unblocks it.
+     */
+    void wait(int receiver) { setBlocked(receiver, true); }
+
+    /** Explicitly set/clear UIF (CLUI/STUI instructions). */
+    void setUif(int receiver, bool uif);
+
+    bool running(int receiver) const;
+    bool blocked(int receiver) const;
+    bool uif(int receiver) const;
+
+    /** Pending vector mask of a receiver's UPID. */
+    std::uint64_t pending(int receiver) const;
+
+    const UintrStats &stats() const { return stats_; }
+
+    /** Number of UITT entries allocated (per-process table size). */
+    std::size_t uittSize() const { return uitt_.size(); }
+
+  private:
+    struct Receiver
+    {
+        Handler handler;
+        WakeCallback wake;
+        std::uint64_t pir = 0;      ///< pending interrupt requests
+        bool on = false;            ///< outstanding notification
+        bool running = true;
+        bool blocked = false;
+        bool uifFlag = true;
+        bool valid = true;
+        std::uint64_t generation = 0; ///< invalidates in-flight events
+    };
+
+    struct UittEntry
+    {
+        int receiver;
+        int vector;
+        bool valid;
+    };
+
+    struct FdEntry
+    {
+        int receiver;
+        int vector;
+        bool valid;
+    };
+
+    Receiver &rx(int receiver);
+    const Receiver &rx(int receiver) const;
+
+    /** Try to schedule a notification for pending vectors. */
+    void notify(int receiver);
+
+    /** Deliver all pending vectors to an eligible receiver now. */
+    void deliverNow(int receiver, TimeNs now);
+
+    sim::Simulator &sim_;
+    LatencyConfig cfg_;
+    Rng rng_;
+    std::vector<Receiver> receivers_;
+    std::vector<FdEntry> fds_;
+    std::vector<UittEntry> uitt_;
+    UintrStats stats_;
+};
+
+} // namespace preempt::hw
+
+#endif // PREEMPT_HW_UINTR_HH

@@ -1,0 +1,40 @@
+#include "preemptible/fcontext.hh"
+
+#include "common/logging.hh"
+
+namespace preempt::fcontext {
+
+#if defined(__x86_64__) && defined(__ELF__)
+
+bool
+haveFastContext()
+{
+    return true;
+}
+
+#else
+
+// Reference fallback so the library still links on other platforms;
+// the runtime refuses to start without the fast implementation.
+
+bool
+haveFastContext()
+{
+    return false;
+}
+
+extern "C" Transfer
+preempt_jump_fcontext(Context, void *)
+{
+    panic("fcontext is only implemented for x86-64 SysV");
+}
+
+extern "C" Context
+preempt_make_fcontext(void *, std::size_t, EntryFn)
+{
+    panic("fcontext is only implemented for x86-64 SysV");
+}
+
+#endif
+
+} // namespace preempt::fcontext

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal fcontext-style symmetric context switching.
+ *
+ * The paper bases its context management on the fcontext library
+ * (section IV-B): a context switch saves only the callee-saved
+ * registers and the stack pointer, making a user-level switch ~40 ns —
+ * two orders of magnitude cheaper than a kernel thread switch.
+ *
+ * On x86-64 SysV the switch is implemented in assembly
+ * (fcontext_x86_64.S); other platforms fall back to ucontext.
+ */
+
+#ifndef PREEMPT_PREEMPTIBLE_FCONTEXT_HH
+#define PREEMPT_PREEMPTIBLE_FCONTEXT_HH
+
+#include <cstddef>
+
+namespace preempt::fcontext {
+
+/** Opaque handle to a suspended context (its stack pointer). */
+using Context = void *;
+
+/** Result of a context switch: who suspended, plus a data word. */
+struct Transfer
+{
+    Context fctx; ///< the context that was just suspended
+    void *data;   ///< value passed through the switch
+};
+
+/** Entry function of a fresh context. Must never return normally;
+ *  finish by jumping to another context. */
+using EntryFn = void (*)(Transfer);
+
+extern "C" {
+
+/**
+ * Switch to another context.
+ *
+ * @param to  context to resume
+ * @param vp  data word handed to the resumed side
+ * @return on eventual resumption: the context that switched back to
+ *         us and its data word.
+ */
+Transfer preempt_jump_fcontext(Context to, void *vp);
+
+/**
+ * Create a fresh context on the given stack.
+ *
+ * @param stack_top highest address of the stack (grows down)
+ * @param size      stack size in bytes
+ * @param fn        entry function
+ * @return handle to the new (not yet started) context.
+ */
+Context preempt_make_fcontext(void *stack_top, std::size_t size,
+                              EntryFn fn);
+
+} // extern "C"
+
+/** True when the fast assembly implementation is in use. */
+bool haveFastContext();
+
+} // namespace preempt::fcontext
+
+#endif // PREEMPT_PREEMPTIBLE_FCONTEXT_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Host clock helpers for the real runtime. The paper's LibUtimer polls
+ * the TSC; portably we use CLOCK_MONOTONIC nanoseconds, with an RDTSC
+ * fast path for timestamping where available.
+ */
+
+#ifndef PREEMPT_PREEMPTIBLE_HOSTTIME_HH
+#define PREEMPT_PREEMPTIBLE_HOSTTIME_HH
+
+#include <ctime>
+
+#include "common/time.hh"
+
+namespace preempt::runtime {
+
+/** Current host time in nanoseconds (CLOCK_MONOTONIC). */
+inline TimeNs
+hostNowNs()
+{
+    timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<TimeNs>(ts.tv_sec) * 1000000000ULL +
+           static_cast<TimeNs>(ts.tv_nsec);
+}
+
+/** Raw TSC read (x86-64); falls back to the monotonic clock. */
+inline std::uint64_t
+rdtsc()
+{
+#if defined(__x86_64__)
+    unsigned int lo, hi;
+    asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+    return hostNowNs();
+#endif
+}
+
+} // namespace preempt::runtime
+
+#endif // PREEMPT_PREEMPTIBLE_HOSTTIME_HH

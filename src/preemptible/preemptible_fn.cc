@@ -1,0 +1,274 @@
+#include "preemptible/preemptible_fn.hh"
+
+#include <cerrno>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+
+#include "common/logging.hh"
+#include "preemptible/hosttime.hh"
+
+namespace preempt::runtime {
+
+using fcontext::preempt_jump_fcontext;
+using fcontext::preempt_make_fcontext;
+
+namespace {
+
+// Markers passed through context switches back to the scheduler.
+constexpr std::uintptr_t kMarkCompleted = 1;
+constexpr std::uintptr_t kMarkPreempted = 2;
+constexpr std::uintptr_t kMarkYielded = 3;
+
+// The worker context must be constant-initialised: the signal handler
+// reads it and must never trigger a TLS init guard.
+static_assert(std::is_trivially_destructible_v<WorkerContext>);
+constinit thread_local WorkerContext tl_worker;
+constinit thread_local bool tl_worker_active = false;
+
+/**
+ * Preemption signal handler (the UINTR-handler analogue). Runs on the
+ * preemptible function's stack, saves it by context-switching back to
+ * the worker's scheduler context, and — when the function is later
+ * resumed — returns through sigreturn into the interrupted code.
+ */
+void
+preemptionHandler(int)
+{
+    int saved_errno = errno;
+    if (!tl_worker_active || !tl_worker.inRegion) {
+        // Late fire: the function already completed and the worker is
+        // back in scheduler code. Ignore.
+        if (tl_worker_active)
+            ++tl_worker.staleSignals;
+        errno = saved_errno;
+        return;
+    }
+    tl_worker.inRegion = 0;
+    fcontext::Transfer t = preempt_jump_fcontext(
+        tl_worker.schedulerCtx,
+        reinterpret_cast<void *>(kMarkPreempted));
+
+    // Resumed via fn_resume — possibly on a different worker thread.
+    WorkerContext &w = tl_worker;
+    w.schedulerCtx = t.fctx;
+    w.inRegion = 1;
+    errno = saved_errno;
+    // Normal return unwinds the kernel signal frame (sigreturn) and
+    // resumes the interrupted request code.
+}
+
+std::once_flag handler_once;
+int handler_signo = 0;
+
+void
+installHandler(int signo)
+{
+    std::call_once(handler_once, [signo] {
+        struct sigaction sa = {};
+        sa.sa_handler = &preemptionHandler;
+        // SA_NODEFER: the handler context-switches away instead of
+        // returning, so the signal must not stay blocked.
+        sa.sa_flags = SA_NODEFER;
+        sigemptyset(&sa.sa_mask);
+        int rc = ::sigaction(signo, &sa, nullptr);
+        fatal_if(rc != 0, "sigaction(%d) failed", signo);
+        handler_signo = signo;
+    });
+    fatal_if(handler_signo != signo,
+             "preemption handler already installed for signal %d",
+             handler_signo);
+}
+
+} // namespace
+
+namespace detail {
+
+/** Entry point of every preemptible function context. */
+void
+fnEntry(fcontext::Transfer t)
+{
+    auto *fn = static_cast<PreemptibleFn *>(t.data);
+    tl_worker.schedulerCtx = t.fctx;
+    fn->body_();
+
+    // Completion: leave the preemptible region and return control.
+    tl_worker.inRegion = 0;
+    preempt_jump_fcontext(tl_worker.schedulerCtx,
+                          reinterpret_cast<void *>(kMarkCompleted));
+    panic("completed preemptible function was resumed");
+}
+
+} // namespace detail
+
+PreemptibleFn::PreemptibleFn(std::function<void()> body)
+    : body_(std::move(body))
+{
+    fatal_if(!body_, "preemptible function needs a body");
+}
+
+PreemptibleFn::~PreemptibleFn()
+{
+    panic_if(state_ == FnState::Running,
+             "destroying a running preemptible function");
+    if (stack_.valid())
+        fnStackPool().release(stack_);
+}
+
+void
+PreemptibleFn::reset(std::function<void()> body)
+{
+    fatal_if(state_ == FnState::Running || state_ == FnState::Preempted,
+             "reset requires a Fresh, Completed, or Cancelled function");
+    body_ = std::move(body);
+    fatal_if(!body_, "preemptible function needs a body");
+    ctx_ = nullptr;
+    state_ = FnState::Fresh;
+    preemptions_ = 0;
+}
+
+StackPool &
+fnStackPool()
+{
+    static StackPool pool(256 * 1024);
+    return pool;
+}
+
+WorkerContext &
+workerInit(UTimer &timer)
+{
+    fatal_if(tl_worker_active, "workerInit called twice on this thread");
+    fatal_if(!fcontext::haveFastContext(),
+             "this platform lacks the fcontext implementation");
+    installHandler(timer.signo());
+    tl_worker.slot = timer.registerThread();
+    tl_worker.timer = &timer;
+    tl_worker_active = true;
+    return tl_worker;
+}
+
+void
+workerShutdown()
+{
+    if (!tl_worker_active)
+        return;
+    panic_if(tl_worker.inRegion, "workerShutdown inside a function");
+    if (tl_worker.slot && tl_worker.timer) {
+        tl_worker.timer->unregisterThread(tl_worker.slot);
+        tl_worker.slot = nullptr;
+        tl_worker.timer = nullptr;
+    }
+    tl_worker_active = false;
+}
+
+WorkerContext *
+currentWorker()
+{
+    return tl_worker_active ? &tl_worker : nullptr;
+}
+
+namespace detail {
+
+FnStatus
+runFn(PreemptibleFn &fn, TimeNs timeout, bool fresh)
+{
+    fatal_if(!tl_worker_active,
+             "fn_launch/fn_resume require workerInit() first");
+    WorkerContext &w = tl_worker;
+    fatal_if(w.current != nullptr,
+             "nested fn_launch/fn_resume on a worker");
+    if (fresh) {
+        fatal_if(fn.state() != FnState::Fresh,
+                 "fn_launch requires a Fresh function (use fn_resume)");
+        if (!fn.stack_.valid())
+            fn.stack_ = fnStackPool().acquire();
+        fn.ctx_ = preempt_make_fcontext(fn.stack_.top(),
+                                            fn.stack_.usable(),
+                                            &fnEntry);
+    } else {
+        fatal_if(fn.state() != FnState::Preempted,
+                 "fn_resume requires a Preempted function");
+    }
+
+    fn.state_ = FnState::Running;
+    w.current = &fn;
+
+    bool preemptible =
+        timeout != 0 && timeout != kTimeNever && w.slot != nullptr;
+    if (preemptible)
+        UTimer::armDeadline(w.slot, hostNowNs() + timeout);
+
+    w.inRegion = 1;
+    fcontext::Transfer t =
+        preempt_jump_fcontext(fn.ctx_, fresh ? &fn : nullptr);
+    w.inRegion = 0;
+    if (preemptible)
+        UTimer::disarm(w.slot);
+    w.current = nullptr;
+
+    auto marker = reinterpret_cast<std::uintptr_t>(t.data);
+    switch (marker) {
+      case kMarkCompleted:
+        fn.state_ = FnState::Completed;
+        fn.ctx_ = nullptr;
+        // Recycle the stack through the global pool immediately.
+        fnStackPool().release(fn.stack_);
+        fn.stack_ = Stack{};
+        ++w.completions;
+        return FnStatus::Completed;
+      case kMarkPreempted:
+        fn.ctx_ = t.fctx;
+        fn.state_ = FnState::Preempted;
+        ++fn.preemptions_;
+        ++w.preemptions;
+        return FnStatus::Preempted;
+      case kMarkYielded:
+        fn.ctx_ = t.fctx;
+        fn.state_ = FnState::Preempted;
+        return FnStatus::Yielded;
+      default:
+        panic("unknown context-switch marker %llu",
+              static_cast<unsigned long long>(marker));
+    }
+}
+
+} // namespace detail
+
+FnStatus
+fn_launch(PreemptibleFn &fn, TimeNs timeout)
+{
+    return detail::runFn(fn, timeout, true);
+}
+
+FnStatus
+fn_resume(PreemptibleFn &fn, TimeNs timeout)
+{
+    return detail::runFn(fn, timeout, false);
+}
+
+void
+fn_cancel(PreemptibleFn &fn)
+{
+    fatal_if(fn.state() != FnState::Preempted,
+             "fn_cancel requires a Preempted function");
+    // The context's stack frames are abandoned, not unwound.
+    fn.ctx_ = nullptr;
+    fnStackPool().release(fn.stack_);
+    fn.stack_ = Stack{};
+    fn.state_ = FnState::Cancelled;
+}
+
+void
+fn_yield()
+{
+    fatal_if(!tl_worker_active || !tl_worker.inRegion,
+             "fn_yield outside a preemptible function");
+    tl_worker.inRegion = 0;
+    fcontext::Transfer t = preempt_jump_fcontext(
+        tl_worker.schedulerCtx, reinterpret_cast<void *>(kMarkYielded));
+    WorkerContext &w = tl_worker;
+    w.schedulerCtx = t.fctx;
+    w.inRegion = 1;
+}
+
+} // namespace preempt::runtime

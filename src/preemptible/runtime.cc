@@ -1,0 +1,174 @@
+#include "preemptible/runtime.hh"
+
+#include "common/logging.hh"
+#include "preemptible/hosttime.hh"
+
+namespace preempt::runtime {
+
+PreemptibleRuntime::PreemptibleRuntime(Options options)
+    : options_(std::move(options)), quantum_(options_.quantum)
+{
+    fatal_if(options_.nWorkers <= 0, "runtime needs at least one worker");
+    timer_.init(options_.timer);
+    startedAt_ = hostNowNs();
+    for (int i = 0; i < options_.nWorkers; ++i) {
+        queues_.push_back(std::make_unique<SpscRing<TaskRecord *>>(
+            options_.queueCapacity));
+    }
+    for (int i = 0; i < options_.nWorkers; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+PreemptibleRuntime::~PreemptibleRuntime()
+{
+    shutdown();
+}
+
+bool
+PreemptibleRuntime::submit(std::function<void()> body, int cls)
+{
+    fatal_if(!body, "submitting an empty task");
+    fatal_if(stopping_.load(), "submit after shutdown");
+    auto task = std::make_unique<TaskRecord>();
+    task->body = std::move(body);
+    task->cls = cls;
+    task->submitNs = hostNowNs();
+
+    std::size_t target =
+        rrNext_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    // SpscRing is single-producer; serialise multi-threaded submitters.
+    static std::mutex submit_mutex;
+    std::lock_guard<std::mutex> lock(submit_mutex);
+    if (!queues_[target]->push(task.get()))
+        return false;
+    task.release(); // ownership passed to the worker
+    inFlight_.fetch_add(1, std::memory_order_relaxed);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+PreemptibleRuntime::workerMain(int index)
+{
+    WorkerContext &ctx = workerInit(timer_);
+    auto &queue = *queues_[static_cast<std::size_t>(index)];
+
+    for (;;) {
+        // Policy #1: new tasks take priority over preempted ones.
+        TaskRecord *raw = nullptr;
+        if (queue.pop(raw)) {
+            runTask(std::unique_ptr<TaskRecord>(raw));
+            continue;
+        }
+        std::unique_ptr<TaskRecord> parked;
+        {
+            std::lock_guard<std::mutex> lock(longMutex_);
+            if (!longQueue_.empty()) {
+                parked = std::move(longQueue_.front());
+                longQueue_.pop_front();
+            }
+        }
+        if (parked) {
+            runTask(std::move(parked));
+            continue;
+        }
+        if (stopping_.load(std::memory_order_acquire) &&
+            inFlight_.load(std::memory_order_acquire) == 0) {
+            break;
+        }
+        if (options_.idleNap) {
+            timespec ts{0, static_cast<long>(options_.idleNap)};
+            ::nanosleep(&ts, nullptr);
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        staleSignals_ += ctx.staleSignals;
+    }
+    workerShutdown();
+}
+
+void
+PreemptibleRuntime::runTask(std::unique_ptr<TaskRecord> task)
+{
+    FnStatus status;
+    TimeNs slice = quantum_.load(std::memory_order_relaxed);
+    if (!task->fn) {
+        task->fn = std::make_unique<PreemptibleFn>(task->body);
+        status = fn_launch(*task->fn, slice);
+    } else {
+        status = fn_resume(*task->fn, slice);
+    }
+
+    if (status == FnStatus::Completed) {
+        task->finishNs = hostNowNs();
+        TimeNs sojourn = task->finishNs - task->submitNs;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            (task->cls == 0 ? lcLatency_ : beLatency_).record(sojourn);
+        }
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        inFlight_.fetch_sub(1, std::memory_order_release);
+        return;
+    }
+
+    // Preempted or yielded: park on the shared long queue.
+    preemptions_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(longMutex_);
+    longQueue_.push_back(std::move(task));
+}
+
+void
+PreemptibleRuntime::quiesce()
+{
+    while (inFlight_.load(std::memory_order_acquire) != 0) {
+        timespec ts{0, 100000};
+        ::nanosleep(&ts, nullptr);
+    }
+}
+
+void
+PreemptibleRuntime::shutdown()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true))
+        return;
+    for (auto &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    timer_.shutdown();
+}
+
+RuntimeStats
+PreemptibleRuntime::stats() const
+{
+    RuntimeStats s;
+    s.submitted = submitted_.load();
+    s.completed = completed_.load();
+    s.preemptions = preemptions_.load();
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    s.staleSignals = staleSignals_;
+    s.lcLatency = lcLatency_;
+    s.beLatency = beLatency_;
+    return s;
+}
+
+double
+PreemptibleRuntime::throughputRps() const
+{
+    TimeNs elapsed = hostNowNs() - startedAt_;
+    if (elapsed == 0)
+        return 0;
+    return static_cast<double>(completed_.load()) / nsToSec(elapsed);
+}
+
+std::size_t
+PreemptibleRuntime::longQueueLen() const
+{
+    std::lock_guard<std::mutex> lock(longMutex_);
+    return longQueue_.size();
+}
+
+} // namespace preempt::runtime

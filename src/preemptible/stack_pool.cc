@@ -1,0 +1,103 @@
+#include "preemptible/stack_pool.hh"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace preempt::runtime {
+
+namespace {
+
+std::size_t
+pageSize()
+{
+    static const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return page;
+}
+
+std::size_t
+roundToPages(std::size_t bytes)
+{
+    std::size_t page = pageSize();
+    return (bytes + page - 1) / page * page;
+}
+
+} // namespace
+
+StackPool::StackPool(std::size_t stack_size, bool guard)
+    : stackSize_(roundToPages(stack_size)), guard_(guard), allocated_(0)
+{
+    fatal_if(stack_size == 0, "stack size must be > 0");
+}
+
+StackPool::~StackPool()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &s : free_)
+        unmap(s);
+    free_.clear();
+}
+
+Stack
+StackPool::map()
+{
+    std::size_t guard_bytes = guard_ ? pageSize() : 0;
+    std::size_t total = stackSize_ + guard_bytes;
+    void *mem = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    fatal_if(mem == MAP_FAILED, "mmap of a %zu-byte stack failed", total);
+    if (guard_) {
+        int rc = ::mprotect(mem, guard_bytes, PROT_NONE);
+        fatal_if(rc != 0, "mprotect of stack guard page failed");
+    }
+    Stack s;
+    s.base_ = mem;
+    s.top_ = static_cast<char *>(mem) + total;
+    s.usable_ = stackSize_;
+    s.mapped_ = total;
+    return s;
+}
+
+void
+StackPool::unmap(Stack &stack)
+{
+    if (stack.base_) {
+        ::munmap(stack.base_, stack.mapped_);
+        stack.base_ = nullptr;
+    }
+}
+
+Stack
+StackPool::acquire()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!free_.empty()) {
+            Stack s = free_.back();
+            free_.pop_back();
+            return s;
+        }
+        ++allocated_;
+    }
+    return map();
+}
+
+void
+StackPool::release(Stack stack)
+{
+    panic_if(!stack.valid(), "releasing an invalid stack");
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(stack);
+}
+
+std::size_t
+StackPool::freeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+}
+
+} // namespace preempt::runtime
+

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Pooled execution stacks for preemptible functions.
+ *
+ * The dispatcher allocates context objects and stack space for each
+ * request from a global memory pool (section IV-B); stacks are
+ * mmap'ed with a guard page and recycled through a free list so
+ * steady-state fn_launch never enters the kernel.
+ */
+
+#ifndef PREEMPT_PREEMPTIBLE_STACK_POOL_HH
+#define PREEMPT_PREEMPTIBLE_STACK_POOL_HH
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace preempt::runtime {
+
+/** One mmap'ed stack with an inaccessible guard page at the bottom. */
+class Stack
+{
+  public:
+    Stack() = default;
+
+    void *top() const { return top_; }
+    void *base() const { return base_; }
+    std::size_t usable() const { return usable_; }
+    bool valid() const { return base_ != nullptr; }
+
+  private:
+    friend class StackPool;
+    void *base_ = nullptr;  ///< mapping start (guard page)
+    void *top_ = nullptr;   ///< highest usable address
+    std::size_t usable_ = 0;
+    std::size_t mapped_ = 0;
+};
+
+/** Thread-safe pool of equally-sized stacks. */
+class StackPool
+{
+  public:
+    /**
+     * @param stack_size usable bytes per stack (rounded up to pages)
+     * @param guard      add an inaccessible guard page below the stack
+     */
+    explicit StackPool(std::size_t stack_size = 64 * 1024,
+                       bool guard = true);
+    ~StackPool();
+
+    StackPool(const StackPool &) = delete;
+    StackPool &operator=(const StackPool &) = delete;
+
+    /** Get a stack (recycled or freshly mapped). */
+    Stack acquire();
+
+    /** Return a stack to the pool. */
+    void release(Stack stack);
+
+    /** Stacks currently cached in the free list. */
+    std::size_t freeCount() const;
+
+    /** Stacks ever mapped. */
+    std::size_t totalAllocated() const { return allocated_; }
+
+    std::size_t stackSize() const { return stackSize_; }
+
+  private:
+    Stack map();
+    static void unmap(Stack &stack);
+
+    std::size_t stackSize_;
+    bool guard_;
+    mutable std::mutex mutex_;
+    std::vector<Stack> free_;
+    std::size_t allocated_;
+};
+
+} // namespace preempt::runtime
+
+#endif // PREEMPT_PREEMPTIBLE_STACK_POOL_HH

@@ -1,0 +1,103 @@
+#include "preemptible/uintr_syscalls.hh"
+
+#include <cerrno>
+#include <mutex>
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+
+namespace preempt::runtime {
+
+namespace {
+
+long
+rawSyscall(long nr, long a = 0, long b = 0, long c = 0)
+{
+    long rc = ::syscall(nr, a, b, c);
+    return rc < 0 ? -errno : rc;
+}
+
+bool
+cpuHasUintr()
+{
+#if defined(__x86_64__)
+    // CPUID.(EAX=7,ECX=0):EDX[5] = UINTR.
+    unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
+        return false;
+    return (edx & (1u << 5)) != 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+UintrSupport
+probeUintr()
+{
+    static UintrSupport support;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        support.cpu = cpuHasUintr();
+        // Probing with invalid arguments: a UINTR-enabled kernel
+        // returns -EINVAL, everything else -ENOSYS.
+        long rc = rawSyscall(kNrUintrCreateFd, ~0L, ~0u);
+        support.kernel = rc != -ENOSYS;
+    });
+    return support;
+}
+
+long
+uintrRegisterHandler(void (*handler)(), unsigned int flags)
+{
+    return rawSyscall(kNrUintrRegisterHandler,
+                      reinterpret_cast<long>(handler),
+                      static_cast<long>(flags));
+}
+
+long
+uintrUnregisterHandler(unsigned int flags)
+{
+    return rawSyscall(kNrUintrUnregisterHandler, static_cast<long>(flags));
+}
+
+long
+uintrCreateFd(std::uint64_t vector, unsigned int flags)
+{
+    return rawSyscall(kNrUintrCreateFd, static_cast<long>(vector),
+                      static_cast<long>(flags));
+}
+
+long
+uintrRegisterSender(int fd, unsigned int flags)
+{
+    return rawSyscall(kNrUintrRegisterSender, fd,
+                      static_cast<long>(flags));
+}
+
+long
+uintrUnregisterSender(int fd, unsigned int flags)
+{
+    return rawSyscall(kNrUintrUnregisterSender, fd,
+                      static_cast<long>(flags));
+}
+
+void
+senduipi(unsigned long uipi_index)
+{
+#if defined(__x86_64__)
+    // SENDUIPI r64 == F3 0F C7 /6. Emitted as raw bytes so pre-UINTR
+    // assemblers accept the file; only reachable when probeUintr()
+    // reports a usable platform.
+    asm volatile(".byte 0xf3, 0x0f, 0xc7, 0xf0" ::"a"(uipi_index));
+#else
+    (void)uipi_index;
+#endif
+}
+
+} // namespace preempt::runtime

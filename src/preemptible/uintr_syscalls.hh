@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wrappers for the UINTR kernel API of the Intel RFC patch series
+ * (the kernel interface shown in Fig. 4 of the paper).
+ *
+ * The syscalls exist only on kernels carrying the UINTR patches for
+ * Sapphire Rapids; everywhere else they return -ENOSYS and the runtime
+ * falls back to signal-based preemption ("For older CPUs,
+ * LibPreemptible will fall back to standard interrupts", section V).
+ */
+
+#ifndef PREEMPT_PREEMPTIBLE_UINTR_SYSCALLS_HH
+#define PREEMPT_PREEMPTIBLE_UINTR_SYSCALLS_HH
+
+#include <cstdint>
+
+namespace preempt::runtime {
+
+/**
+ * Syscall numbers from the UINTR RFC (v1, targeting Linux 5.15 — the
+ * kernel version the paper deploys on). Not upstream; probed at
+ * runtime.
+ */
+enum UintrSyscallNr : long
+{
+    kNrUintrRegisterHandler = 449,
+    kNrUintrUnregisterHandler = 450,
+    kNrUintrCreateFd = 451,
+    kNrUintrRegisterSender = 452,
+    kNrUintrUnregisterSender = 453,
+    kNrUintrWait = 454,
+};
+
+/** Result of probing the kernel + CPU for UINTR support. */
+struct UintrSupport
+{
+    bool kernel = false; ///< syscalls present
+    bool cpu = false;    ///< CPUID advertises UINTR
+    bool usable() const { return kernel && cpu; }
+};
+
+/** Probe once (cached); safe to call repeatedly. */
+UintrSupport probeUintr();
+
+/** uintr_register_handler(handler, flags); <0 is -errno. */
+long uintrRegisterHandler(void (*handler)(), unsigned int flags);
+
+/** uintr_unregister_handler(flags). */
+long uintrUnregisterHandler(unsigned int flags);
+
+/** uintr_create_fd(vector, flags); returns fd or -errno. */
+long uintrCreateFd(std::uint64_t vector, unsigned int flags);
+
+/** uintr_register_sender(fd, flags); returns uipi index or -errno. */
+long uintrRegisterSender(int fd, unsigned int flags);
+
+/** uintr_unregister_sender(fd, flags). */
+long uintrUnregisterSender(int fd, unsigned int flags);
+
+/** SENDUIPI instruction wrapper (only valid when usable()). */
+void senduipi(unsigned long uipi_index);
+
+} // namespace preempt::runtime
+
+#endif // PREEMPT_PREEMPTIBLE_UINTR_SYSCALLS_HH

@@ -1,0 +1,124 @@
+#include "preemptible/utimer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "preemptible/hosttime.hh"
+#include "preemptible/uintr_syscalls.hh"
+
+namespace preempt::runtime {
+
+UTimer::~UTimer()
+{
+    shutdown();
+}
+
+void
+UTimer::init(Options options)
+{
+    fatal_if(running_.load(), "utimer_init called twice");
+    options_ = options;
+    fatal_if(options_.maxThreads <= 0, "utimer needs maxThreads > 0");
+    slots_ = std::vector<DeadlineSlot>(
+        static_cast<std::size_t>(options_.maxThreads));
+    usingUintr_ = probeUintr().usable();
+    if (!usingUintr_) {
+        inform("utimer: UINTR unavailable, using signal delivery "
+               "(signo=%d)", options_.signo);
+    }
+    running_.store(true);
+    thread_ = std::thread([this] { timerLoop(); });
+}
+
+void
+UTimer::shutdown()
+{
+    if (!running_.exchange(false))
+        return;
+    if (thread_.joinable())
+        thread_.join();
+}
+
+DeadlineSlot *
+UTimer::registerThread()
+{
+    fatal_if(!running_.load(), "utimer_register before utimer_init");
+    for (auto &slot : slots_) {
+        bool expected = false;
+        if (slot.inUse.compare_exchange_strong(expected, true)) {
+            slot.tid = ::pthread_self();
+            slot.deadline.store(kTimeNever, std::memory_order_release);
+            return &slot;
+        }
+    }
+    fatal("utimer slot table exhausted (maxThreads=%d)",
+          options_.maxThreads);
+}
+
+void
+UTimer::unregisterThread(DeadlineSlot *slot)
+{
+    panic_if(!slot, "unregistering a null slot");
+    slot->deadline.store(kTimeNever, std::memory_order_release);
+    slot->inUse.store(false, std::memory_order_release);
+}
+
+void
+UTimer::timerLoop()
+{
+    while (running_.load(std::memory_order_relaxed)) {
+        scans_.fetch_add(1, std::memory_order_relaxed);
+        TimeNs now = hostNowNs();
+        TimeNs soonest = kTimeNever;
+        for (auto &slot : slots_) {
+            if (!slot.inUse.load(std::memory_order_acquire))
+                continue;
+            TimeNs dl = slot.deadline.load(std::memory_order_acquire);
+            if (dl == kTimeNever)
+                continue;
+            if (dl <= now) {
+                // Claim the expiry so it fires exactly once, then
+                // notify the thread.
+                if (slot.deadline.compare_exchange_strong(dl, kTimeNever)) {
+                    slot.fires.fetch_add(1, std::memory_order_relaxed);
+                    firesTotal_.fetch_add(1, std::memory_order_relaxed);
+                    long uipi =
+                        slot.uipiIndex.load(std::memory_order_acquire);
+                    if (usingUintr_ && uipi >= 0)
+                        senduipi(static_cast<unsigned long>(uipi));
+                    else
+                        ::pthread_kill(slot.tid, options_.signo);
+                }
+            } else {
+                soonest = std::min(soonest, dl);
+            }
+        }
+
+        if (soonest == kTimeNever) {
+            // Nothing armed: nap to keep small hosts responsive.
+            if (options_.idleSleep) {
+                timespec ts{0, static_cast<long>(options_.idleSleep)};
+                ::nanosleep(&ts, nullptr);
+            }
+            continue;
+        }
+        TimeNs gap = soonest > now ? soonest - now : 0;
+        if (gap > options_.spinThreshold && options_.idleSleep) {
+            TimeNs nap = std::min(gap - options_.spinThreshold,
+                                  options_.idleSleep);
+            timespec ts{static_cast<time_t>(nap / 1000000000ULL),
+                        static_cast<long>(nap % 1000000000ULL)};
+            ::nanosleep(&ts, nullptr);
+        }
+        // Otherwise: spin straight into the next scan for precision.
+    }
+}
+
+UTimer &
+globalUTimer()
+{
+    static UTimer timer;
+    return timer;
+}
+
+} // namespace preempt::runtime

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * LibUtimer: the real user-space preemption timer (section IV-A).
+ *
+ * utimer_init creates a pool of timer threads (normally one). Each
+ * application thread registers a 64-byte-aligned deadline slot with
+ * utimer_register; utimer_arm_deadline is a single store of the
+ * absolute time of the next wanted preemption. The timer thread scans
+ * the slots and, when a deadline passes, delivers a preemption
+ * notification to that thread.
+ *
+ * Delivery uses UINTR (SENDUIPI) on supporting hardware/kernels and
+ * falls back to a directed signal (pthread_kill) elsewhere — the
+ * paper's documented fallback path for pre-SPR CPUs.
+ */
+
+#ifndef PREEMPT_PREEMPTIBLE_UTIMER_HH
+#define PREEMPT_PREEMPTIBLE_UTIMER_HH
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <pthread.h>
+#include <thread>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace preempt::runtime {
+
+/** Per-thread deadline location; naturally aligned to a cache line to
+ *  avoid false sharing between the worker store and the timer scan. */
+struct alignas(64) DeadlineSlot
+{
+    /** Absolute CLOCK_MONOTONIC ns of the next wanted preemption;
+     *  kTimeNever disarms. */
+    std::atomic<TimeNs> deadline{kTimeNever};
+
+    /** Thread to notify. */
+    pthread_t tid{};
+
+    /** Slot lifecycle. */
+    std::atomic<bool> inUse{false};
+
+    /** Preemption notifications delivered through this slot. */
+    std::atomic<std::uint64_t> fires{0};
+
+    /** UITT index for SENDUIPI delivery; -1 = use signals. Set by the
+     *  preemption layer after uintr_register_sender succeeds. */
+    std::atomic<long> uipiIndex{-1};
+};
+
+/** The timer-thread pool (normally a single thread). */
+class UTimer
+{
+  public:
+    struct Options
+    {
+        /** Signal used for the fallback delivery path. */
+        int signo = SIGURG;
+
+        /**
+         * Sleep between scan passes when no deadline is imminent.
+         * 0 = busy-poll like the paper's dedicated timer core; a
+         * small sleep keeps single-CPU hosts usable.
+         */
+        TimeNs idleSleep = usToNs(200);
+
+        /** Deadlines this close are busy-waited for precision. */
+        TimeNs spinThreshold = usToNs(100);
+
+        /** Maximum registered threads. */
+        int maxThreads = 512;
+    };
+
+    UTimer() = default;
+    ~UTimer();
+
+    UTimer(const UTimer &) = delete;
+    UTimer &operator=(const UTimer &) = delete;
+
+    /** utimer_init: start the timer thread. */
+    void init(Options options);
+
+    /** utimer_init with default options. */
+    void init() { init(Options{}); }
+
+    /** Stop the timer thread and drop all slots. */
+    void shutdown();
+
+    bool running() const { return running_.load(); }
+
+    /**
+     * utimer_register: allocate a deadline slot for the calling
+     * thread. The slot stays valid until unregisterThread().
+     */
+    DeadlineSlot *registerThread();
+
+    /** Release a slot (call from the owning thread). */
+    void unregisterThread(DeadlineSlot *slot);
+
+    /** utimer_arm_deadline: one store of the absolute deadline. */
+    static void
+    armDeadline(DeadlineSlot *slot, TimeNs absolute_ns)
+    {
+        slot->deadline.store(absolute_ns, std::memory_order_release);
+    }
+
+    /** Disarm (deadline to never). */
+    static void
+    disarm(DeadlineSlot *slot)
+    {
+        slot->deadline.store(kTimeNever, std::memory_order_release);
+    }
+
+    /** Total preemption notifications delivered. */
+    std::uint64_t firesTotal() const { return firesTotal_.load(); }
+
+    /** Scan passes executed (for poll-rate diagnostics). */
+    std::uint64_t scans() const { return scans_.load(); }
+
+    int signo() const { return options_.signo; }
+
+    /** True when delivery uses UINTR rather than signals. */
+    bool usingUintr() const { return usingUintr_; }
+
+  private:
+    void timerLoop();
+
+    Options options_;
+    std::vector<DeadlineSlot> slots_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> firesTotal_{0};
+    std::atomic<std::uint64_t> scans_{0};
+    bool usingUintr_ = false;
+};
+
+/** Process-wide default timer instance (utimer_init convenience). */
+UTimer &globalUTimer();
+
+} // namespace preempt::runtime
+
+#endif // PREEMPT_PREEMPTIBLE_UTIMER_HH

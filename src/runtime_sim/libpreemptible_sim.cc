@@ -1,0 +1,384 @@
+#include "runtime_sim/libpreemptible_sim.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace preempt::runtime_sim {
+
+using workload::Request;
+using workload::RequestClass;
+
+LibPreemptibleSim::LibPreemptibleSim(sim::Simulator &sim,
+                                     const hw::LatencyConfig &cfg,
+                                     LibPreemptibleConfig config)
+    : sim_(sim), cfg_(cfg), config_(std::move(config)),
+      machine_(sim, cfg, config_.nWorkers + 2),
+      utimer_(sim, cfg, config_.delivery),
+      controller_(config_.controllerParams,
+                  config_.quantum ? config_.quantum
+                                  : config_.controllerParams.tMax),
+      statsWindow_(config_.statsHorizon), freeContexts_(0),
+      dispatcherFreeAt_(0), admitted_(0), finished_(0), rrCursor_(0)
+{
+    fatal_if(config_.nWorkers <= 0, "need at least one worker");
+    machine_.setRole(0, hw::CoreRole::Dispatcher);
+    machine_.setRole(config_.nWorkers + 1, hw::CoreRole::Timer);
+
+    quantum_ = config_.adaptive ? controller_.quantum() : config_.quantum;
+
+    for (int i = 0; i < config_.nWorkers; ++i) {
+        workers_.emplace_back();
+        Worker &w = workers_.back();
+        w.id = i;
+        w.utimerSlot = utimer_.registerThread();
+        machine_.setRole(i + 1, hw::CoreRole::Worker);
+    }
+
+    if (config_.adaptive) {
+        cancelController_ = sim_.every(
+            config_.controllerParams.period,
+            [this](TimeNs now) { controllerStep(now); });
+    }
+}
+
+LibPreemptibleSim::~LibPreemptibleSim()
+{
+    if (cancelController_)
+        cancelController_();
+}
+
+std::string
+LibPreemptibleSim::name() const
+{
+    std::string base = config_.delivery == TimerDelivery::Uintr
+                           ? "LibPreemptible"
+                           : "LibPreemptible(no-UINTR)";
+    if (config_.adaptive)
+        base += "+adaptive";
+    return base;
+}
+
+void
+LibPreemptibleSim::onArrival(Request &req)
+{
+    metrics_.onArrival(req);
+    ++admitted_;
+    TimeNs now = sim_.now();
+    // The dispatcher is a single network thread: arrivals serialize
+    // behind its per-request handling cost.
+    TimeNs start = std::max(now, dispatcherFreeAt_);
+    dispatcherFreeAt_ = start + cfg_.dispatchCost;
+    machine_.addBusy(0, cfg_.dispatchCost);
+    sim_.at(dispatcherFreeAt_,
+            [this, &req](TimeNs t) { enqueue(req, t); });
+}
+
+void
+LibPreemptibleSim::enqueue(Request &req, TimeNs now)
+{
+    req.readyAt = now;
+    if (config_.centralQueue) {
+        central_.pushBack(&req);
+        for (auto &w : workers_) {
+            if (w.idle && !w.wakePending) {
+                w.wakePending = true;
+                int id = w.id;
+                sim_.after(cfg_.workerQueuePoll, [this, id](TimeNs t) {
+                    Worker &ww = workers_[static_cast<std::size_t>(id)];
+                    ww.wakePending = false;
+                    if (ww.idle)
+                        pickNext(ww, t);
+                });
+                break;
+            }
+        }
+        return;
+    }
+    (void)now;
+    // Join-shortest-queue across local worker queues.
+    Worker *best = nullptr;
+    std::size_t best_len = std::numeric_limits<std::size_t>::max();
+    for (std::size_t k = 0; k < workers_.size(); ++k) {
+        Worker &w = workers_[(static_cast<std::size_t>(rrCursor_) + k) %
+                             workers_.size()];
+        std::size_t len = w.local.size() + (w.current ? 1 : 0);
+        if (len < best_len) {
+            best_len = len;
+            best = &w;
+        }
+    }
+    rrCursor_ = (rrCursor_ + 1) % static_cast<int>(workers_.size());
+    panic_if(!best, "no workers configured");
+    best->local.pushBack(&req);
+
+    if (best->idle && !best->wakePending) {
+        best->wakePending = true;
+        int id = best->id;
+        sim_.after(cfg_.workerQueuePoll, [this, id](TimeNs t) {
+            Worker &w = workers_[static_cast<std::size_t>(id)];
+            w.wakePending = false;
+            if (w.idle)
+                pickNext(w, t);
+        });
+    }
+}
+
+void
+LibPreemptibleSim::pickNext(Worker &w, TimeNs now)
+{
+    panic_if(w.current != nullptr, "worker picking while running");
+    // Two-level policy: fresh local work first, then preempted
+    // functions from the global running list.
+    Request *req = nullptr;
+    bool fresh = true;
+    if (config_.centralQueue) {
+        // Central single queue: popping serialises on its lock.
+        req = central_.popFront();
+        if (req) {
+            TimeNs start = std::max(now, centralLockFreeAt_);
+            centralLockFreeAt_ = start + cfg_.centralQueueLockHold;
+            TimeNs wait = centralLockFreeAt_ - now;
+            metrics_.addPreemptionOverhead(wait);
+            machine_.addBusy(w.id + 1, wait);
+            now = centralLockFreeAt_;
+        }
+    } else if (config_.policy == SchedPolicy::RoundRobin) {
+        // Centralized-FCFS order: oldest runnable first across the
+        // local queue and the global preempted list.
+        Request *local_head = w.local.front();
+        Request *global_head = globalRunning_.front();
+        if (local_head &&
+            (!global_head || local_head->readyAt <= global_head->readyAt)) {
+            req = w.local.popFront();
+        } else if (global_head) {
+            req = globalRunning_.popFront();
+            fresh = false;
+        }
+    } else {
+        req = w.local.popFront();
+    }
+    if (!req) {
+        req = globalRunning_.popFront();
+        fresh = false;
+    }
+    if (!req && config_.workStealing) {
+        // Steal the head of the longest peer queue (pays the peer-
+        // queue synchronisation cost).
+        Worker *victim = nullptr;
+        for (auto &peer : workers_) {
+            if (peer.id != w.id && !peer.local.empty() &&
+                (!victim || peer.local.size() > victim->local.size())) {
+                victim = &peer;
+            }
+        }
+        if (victim) {
+            req = victim->local.popFront();
+            fresh = true;
+            TimeNs cost = cfg_.libingerLockHold;
+            metrics_.addPreemptionOverhead(cost);
+            machine_.addBusy(w.id + 1, cost);
+            now += cost;
+        }
+    }
+    if (!req) {
+        w.idle = true;
+        return;
+    }
+    // Section III-B: cancel requests whose SLO is already hopeless
+    // instead of burning cycles on them (iterative, not recursive:
+    // overload can queue thousands of expired requests).
+    if (config_.requestDeadline != 0 &&
+        now - req->arrival > config_.requestDeadline) {
+        while (req != nullptr &&
+               now - req->arrival > config_.requestDeadline) {
+            ++finished_;
+            metrics_.onCancellation(*req);
+            req = nullptr;
+            fresh = true;
+            if (config_.centralQueue) {
+                req = central_.popFront();
+            } else if ((req = w.local.popFront()) == nullptr) {
+                req = globalRunning_.popFront();
+                fresh = false;
+            }
+        }
+        if (!req) {
+            w.idle = true;
+            return;
+        }
+    }
+    w.idle = false;
+    startSegment(w, *req, now, fresh);
+}
+
+void
+LibPreemptibleSim::startSegment(Worker &w, Request &req, TimeNs now,
+                                bool fresh)
+{
+    w.current = &req;
+    if (req.firstStart == kTimeNever)
+        req.firstStart = now;
+    if (fresh)
+        ++w.launches;
+    else
+        ++w.resumes;
+
+    // fn_launch allocates a context from the free list; fn_resume just
+    // switches to the saved one. Both pay the user context switch and
+    // the deadline store.
+    TimeNs overhead = cfg_.userCtxSwitch + utimer_.armCost();
+    if (fresh) {
+        overhead += cfg_.fnLaunchCost;
+        if (freeContexts_ > 0)
+            --freeContexts_; // reuse a pooled context
+    }
+    metrics_.addPreemptionOverhead(overhead);
+    machine_.addBusy(w.id + 1, overhead);
+
+    TimeNs seg_start = now + overhead;
+    w.segStart = seg_start;
+
+    TimeNs tq = quantum_;
+    bool preemptible = tq != 0;
+    if (preemptible)
+        tq = utimer_.effectiveQuantum(tq);
+
+    if (!preemptible) {
+        // Run to completion (the "0 us quantum" configuration).
+        TimeNs done_at = seg_start + req.remaining;
+        int id = w.id;
+        w.event = sim_.at(done_at, [this, id](TimeNs t) {
+            onCompletion(workers_[static_cast<std::size_t>(id)], t);
+        });
+        return;
+    }
+
+    FirePlan plan = utimer_.planFire(seg_start + tq);
+    if (seg_start + req.remaining <= plan.handlerEntry) {
+        // The function finishes before the interrupt would land; the
+        // completion path re-arms the deadline so the timer never
+        // sends.
+        utimer_.cancel(plan);
+        TimeNs done_at = seg_start + req.remaining;
+        int id = w.id;
+        w.event = sim_.at(done_at, [this, id](TimeNs t) {
+            onCompletion(workers_[static_cast<std::size_t>(id)], t);
+        });
+    } else {
+        int id = w.id;
+        TimeNs worker_ovh = plan.workerOverhead;
+        w.event = sim_.at(plan.handlerEntry,
+                          [this, id, worker_ovh](TimeNs t) {
+            onPreemption(workers_[static_cast<std::size_t>(id)], t,
+                         worker_ovh);
+        });
+    }
+}
+
+void
+LibPreemptibleSim::onCompletion(Worker &w, TimeNs now)
+{
+    Request *req = w.current;
+    panic_if(!req, "completion with no running request");
+    w.current = nullptr;
+    w.event = sim::kInvalidEvent;
+
+    TimeNs executed = now - w.segStart;
+    metrics_.addExecution(executed);
+    machine_.addBusy(w.id + 1, executed);
+    req->remaining = 0;
+    req->completion = now;
+    ++finished_;
+    ++freeContexts_; // context returns to the global free list
+
+    metrics_.onCompletion(*req);
+    statsWindow_.onCompletion(now, req->latency(), req->service);
+    if (config_.completionHook)
+        config_.completionHook(now, *req);
+
+    // Return to the scheduler loop and pick the next function.
+    TimeNs overhead = cfg_.userCtxSwitch;
+    metrics_.addPreemptionOverhead(overhead);
+    machine_.addBusy(w.id + 1, overhead);
+    int id = w.id;
+    sim_.after(overhead, [this, id](TimeNs t) {
+        pickNext(workers_[static_cast<std::size_t>(id)], t);
+    });
+}
+
+void
+LibPreemptibleSim::onPreemption(Worker &w, TimeNs now,
+                                TimeNs worker_overhead)
+{
+    Request *req = w.current;
+    panic_if(!req, "preemption with no running request");
+    w.current = nullptr;
+    w.event = sim::kInvalidEvent;
+
+    TimeNs executed = now - w.segStart;
+    panic_if(executed >= req->remaining,
+             "preempted a request that should have completed");
+    req->remaining -= executed;
+    ++req->preemptions;
+    metrics_.addExecution(executed);
+    metrics_.addPreemptionOverhead(worker_overhead);
+    machine_.addBusy(w.id + 1, executed + worker_overhead);
+
+    // The preempted context parks on the global running list; idle
+    // peers poll the list, so wake one if any.
+    req->readyAt = now;
+    globalRunning_.pushBack(req);
+    for (auto &peer : workers_) {
+        if (peer.idle && !peer.wakePending && peer.id != w.id) {
+            peer.wakePending = true;
+            int pid = peer.id;
+            sim_.after(cfg_.workerQueuePoll, [this, pid](TimeNs t) {
+                Worker &pw = workers_[static_cast<std::size_t>(pid)];
+                pw.wakePending = false;
+                if (pw.idle)
+                    pickNext(pw, t);
+            });
+            break;
+        }
+    }
+
+    int id = w.id;
+    sim_.after(worker_overhead, [this, id](TimeNs t) {
+        pickNext(workers_[static_cast<std::size_t>(id)], t);
+    });
+}
+
+std::size_t
+LibPreemptibleSim::maxLocalQueueLen() const
+{
+    std::size_t m = 0;
+    for (const auto &w : workers_)
+        m = std::max(m, w.local.size());
+    return m;
+}
+
+void
+LibPreemptibleSim::controllerStep(TimeNs now)
+{
+    statsWindow_.expire(now);
+    ControlInputs in;
+    in.loadRps = statsWindow_.throughputRps(now);
+    if (config_.maxLoadRps > 0) {
+        in.maxLoadRps = config_.maxLoadRps;
+    } else {
+        double mean_service = statsWindow_.meanServiceNs();
+        in.maxLoadRps =
+            mean_service > 0
+                ? static_cast<double>(config_.nWorkers) * 1e9 / mean_service
+                : 0;
+    }
+    in.maxQueueLen = std::max(maxLocalQueueLen(), globalRunning_.size());
+    in.tailIndex = statsWindow_.tailIndex();
+    quantum_ = controller_.step(in);
+    if (config_.quantumHook)
+        config_.quantumHook(now, quantum_);
+}
+
+} // namespace preempt::runtime_sim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Common interface of all simulated request-serving runtimes
+ * (LibPreemptible, Shinjuku, Libinger, non-preemptive baselines).
+ *
+ * A ServerModel consumes the arrival stream of an OpenLoopGenerator,
+ * schedules requests across its simulated cores, and accumulates
+ * RunMetrics. Core layout conventions follow the paper's evaluation:
+ * core 0 is the network/dispatch thread, the last core may be a
+ * dedicated timer core, and the cores in between are workers.
+ */
+
+#ifndef PREEMPT_RUNTIME_SIM_SERVER_HH
+#define PREEMPT_RUNTIME_SIM_SERVER_HH
+
+#include <string>
+
+#include "workload/metrics.hh"
+#include "workload/request.hh"
+
+namespace preempt::runtime_sim {
+
+/** Abstract simulated runtime. */
+class ServerModel
+{
+  public:
+    virtual ~ServerModel() = default;
+
+    /** Deliver a new request to the runtime (network thread). */
+    virtual void onArrival(workload::Request &req) = 0;
+
+    /** Identifier used in bench output. */
+    virtual std::string name() const = 0;
+
+    /** Run metrics accumulated so far. */
+    workload::RunMetrics &metrics() { return metrics_; }
+    const workload::RunMetrics &metrics() const { return metrics_; }
+
+  protected:
+    workload::RunMetrics metrics_;
+};
+
+} // namespace preempt::runtime_sim
+
+#endif // PREEMPT_RUNTIME_SIM_SERVER_HH

@@ -1,0 +1,146 @@
+#include "runtime_sim/utimer_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace preempt::runtime_sim {
+
+UTimerModel::UTimerModel(sim::Simulator &sim, const hw::LatencyConfig &cfg,
+                         TimerDelivery delivery)
+    : sim_(sim), cfg_(cfg), delivery_(delivery),
+      rng_(sim.rng().fork(0x7574696d)), fires_(0), timerBusy_(0)
+{
+}
+
+int
+UTimerModel::registerThread()
+{
+    slots_.emplace_back();
+    return static_cast<int>(slots_.size()) - 1;
+}
+
+TimeNs
+UTimerModel::gridCeil(TimeNs t) const
+{
+    TimeNs step = cfg_.utimerPollInterval;
+    if (step == 0)
+        return t;
+    TimeNs rem = t % step;
+    return rem == 0 ? t : t + (step - rem);
+}
+
+TimeNs
+UTimerModel::sampleDelivery()
+{
+    switch (delivery_) {
+      case TimerDelivery::Uintr:
+        return cfg_.uintrRunning.sample(rng_);
+      case TimerDelivery::KernelSignal:
+        return cfg_.signalDelivery.sample(rng_) + cfg_.signalHandlerCost;
+    }
+    panic("unknown timer delivery mode");
+}
+
+TimeNs
+UTimerModel::minQuantum() const
+{
+    switch (delivery_) {
+      case TimerDelivery::Uintr:
+        return cfg_.utimerMinQuantum;
+      case TimerDelivery::KernelSignal:
+        return cfg_.kernelTimerFloor;
+    }
+    panic("unknown timer delivery mode");
+}
+
+TimeNs
+UTimerModel::effectiveQuantum(TimeNs requested) const
+{
+    return std::max(requested, minQuantum());
+}
+
+FirePlan
+UTimerModel::planFire(TimeNs deadline)
+{
+    FirePlan plan;
+    plan.deadline = deadline;
+    plan.noticed = gridCeil(deadline);
+    TimeNs send_cost = delivery_ == TimerDelivery::Uintr
+                           ? cfg_.senduipiCost
+                           : cfg_.syscallCost; // tgkill from timer thread
+    TimeNs delivery = sampleDelivery();
+    plan.handlerEntry = plan.noticed + send_cost + delivery;
+    TimeNs handler_cost = delivery_ == TimerDelivery::Uintr
+                              ? cfg_.uintrHandlerCost
+                              : cfg_.signalHandlerCost;
+    plan.workerOverhead = handler_cost + cfg_.userCtxSwitch;
+    plan.timerCoreCost = send_cost;
+    ++fires_;
+    timerBusy_ += plan.timerCoreCost;
+    return plan;
+}
+
+void
+UTimerModel::cancel(const FirePlan &plan)
+{
+    if (fires_ > 0)
+        --fires_;
+    timerBusy_ -= std::min(timerBusy_, plan.timerCoreCost);
+}
+
+void
+UTimerModel::startPeriodic(int slot, TimeNs interval,
+                           std::function<void(TimeNs)> handler)
+{
+    fatal_if(slot < 0 || static_cast<std::size_t>(slot) >= slots_.size(),
+             "invalid utimer slot %d", slot);
+    fatal_if(interval == 0, "periodic utimer interval must be > 0");
+    fatal_if(!handler, "periodic utimer needs a handler");
+    Slot &s = slots_[static_cast<std::size_t>(slot)];
+    s.periodic = true;
+    s.handler = std::move(handler);
+    std::uint64_t gen = ++s.generation;
+
+    // Chain of fires: each expiry plans the next from its own target
+    // time (not the jittered entry time), like a real periodic timer.
+    struct Chain
+    {
+        UTimerModel *self;
+        int slot;
+        std::uint64_t gen;
+        TimeNs interval;
+
+        void
+        arm(TimeNs target) const
+        {
+            UTimerModel *m = self;
+            FirePlan plan = m->planFire(target);
+            Chain next = *this;
+            m->sim_.at(std::max(plan.handlerEntry, m->sim_.now()),
+                       [next, target](TimeNs now) {
+                Slot &s =
+                    next.self->slots_[static_cast<std::size_t>(next.slot)];
+                if (!s.periodic || s.generation != next.gen)
+                    return;
+                s.handler(now);
+                next.arm(target + next.interval);
+            });
+        }
+    };
+
+    Chain chain{this, slot, gen, interval};
+    chain.arm(sim_.now() + interval);
+}
+
+void
+UTimerModel::stopPeriodic(int slot)
+{
+    fatal_if(slot < 0 || static_cast<std::size_t>(slot) >= slots_.size(),
+             "invalid utimer slot %d", slot);
+    Slot &s = slots_[static_cast<std::size_t>(slot)];
+    s.periodic = false;
+    ++s.generation;
+}
+
+} // namespace preempt::runtime_sim

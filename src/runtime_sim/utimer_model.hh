@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Simulated LibUtimer: the dedicated timer core that polls the TSC,
+ * compares it against per-thread deadline slots (64-byte aligned
+ * memory locations in the real library), and fires a user interrupt at
+ * the thread whose deadline passed (section IV-A).
+ *
+ * Two delivery modes mirror the paper's ablation: UINTR (the
+ * contribution) and kernel signals (the "LibPreemptible w/o UINTR"
+ * orange line of Fig. 8, which falls back to ordinary timed
+ * interrupts).
+ */
+
+#ifndef PREEMPT_RUNTIME_SIM_UTIMER_MODEL_HH
+#define PREEMPT_RUNTIME_SIM_UTIMER_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hh"
+#include "hw/kernel.hh"
+#include "hw/latency_config.hh"
+#include "sim/simulator.hh"
+
+namespace preempt::runtime_sim {
+
+/** How preemption notifications reach worker threads. */
+enum class TimerDelivery
+{
+    Uintr,        ///< SENDUIPI from the timer core (LibPreemptible)
+    KernelSignal, ///< ordinary timed interrupts + signals (fallback)
+};
+
+/**
+ * Deterministic plan for one armed deadline: when the worker's handler
+ * actually gains control and what everything costs.
+ */
+struct FirePlan
+{
+    /** Deadline as armed by the worker. */
+    TimeNs deadline = 0;
+    /** Time the timer core notices the expired deadline (poll grid). */
+    TimeNs noticed = 0;
+    /** Time the preemption handler starts executing on the worker. */
+    TimeNs handlerEntry = 0;
+    /** CPU cost on the worker: handler prologue/epilogue and the
+     *  user-level context switch back to the scheduler. */
+    TimeNs workerOverhead = 0;
+    /** CPU cost on the timer core for this fire. */
+    TimeNs timerCoreCost = 0;
+};
+
+/** Model of the LibUtimer timer core. */
+class UTimerModel
+{
+  public:
+    /**
+     * @param sim      simulation driver
+     * @param cfg      latency calibration
+     * @param delivery notification mechanism
+     */
+    UTimerModel(sim::Simulator &sim, const hw::LatencyConfig &cfg,
+                TimerDelivery delivery);
+
+    /**
+     * utimer_register: allocate a deadline slot for a thread.
+     * @return slot index.
+     */
+    int registerThread();
+
+    /**
+     * Plan the preemption that an utimer_arm_deadline(deadline) would
+     * produce. Deterministic for a fixed simulator seed; the caller
+     * decides whether the request completes before handlerEntry.
+     *
+     * The worker-side cost of arming (one store) is reported through
+     * armCost().
+     */
+    FirePlan planFire(TimeNs deadline);
+
+    /** Cost of utimer_arm_deadline on the worker (a memory write). */
+    TimeNs armCost() const { return cfg_.utimerArmCost; }
+
+    /**
+     * Revoke a planned fire because the function completed first (the
+     * worker re-armed the deadline to the far future): the timer core
+     * never sends, so its send cost is refunded.
+     */
+    void cancel(const FirePlan &plan);
+
+    /** Minimum supported time quantum (3 us with UINTR). */
+    TimeNs minQuantum() const;
+
+    /**
+     * Clamp a requested quantum to what the delivery mechanism can
+     * express (kernel timers cannot go below their granularity floor).
+     */
+    TimeNs effectiveQuantum(TimeNs requested) const;
+
+    /**
+     * Event-driven periodic mode used by the precision/scalability
+     * experiments (Figs. 11 and 12): fire the handler for a slot every
+     * interval, reporting actual handler-entry times.
+     */
+    void startPeriodic(int slot, TimeNs interval,
+                       std::function<void(TimeNs)> handler);
+
+    /** Stop a periodic stream. */
+    void stopPeriodic(int slot);
+
+    /** Count of fires planned/delivered so far. */
+    std::uint64_t fires() const { return fires_; }
+
+    /** Cumulative timer-core CPU cost. */
+    TimeNs timerCoreBusy() const { return timerBusy_; }
+
+    TimerDelivery delivery() const { return delivery_; }
+
+  private:
+    /** Poll-grid alignment: first poll tick at or after t. */
+    TimeNs gridCeil(TimeNs t) const;
+
+    /** Sample delivery latency for the configured mechanism. */
+    TimeNs sampleDelivery();
+
+    struct Slot
+    {
+        bool periodic = false;
+        std::uint64_t generation = 0;
+        std::function<void(TimeNs)> handler;
+    };
+
+    sim::Simulator &sim_;
+    hw::LatencyConfig cfg_;
+    TimerDelivery delivery_;
+    Rng rng_;
+    std::vector<Slot> slots_;
+    std::uint64_t fires_;
+    TimeNs timerBusy_;
+};
+
+} // namespace preempt::runtime_sim
+
+#endif // PREEMPT_RUNTIME_SIM_UTIMER_MODEL_HH

@@ -1,0 +1,75 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace preempt::sim {
+
+EventQueue::EventQueue() : nextSeq_(1)
+{
+}
+
+EventId
+EventQueue::schedule(TimeNs when, std::function<void(TimeNs)> fn)
+{
+    panic_if(!fn, "scheduling an empty callback");
+    EventId id = nextSeq_++;
+    heap_.push(Entry{when, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id == kInvalidEvent)
+        return;
+    // Cancelling an event that already fired (or was cancelled) is a
+    // no-op; only still-pending ids get marked.
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return;
+    pending_.erase(it);
+    cancelled_.insert(id);
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end())
+            return;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    skipDead();
+    return heap_.empty();
+}
+
+TimeNs
+EventQueue::nextTime() const
+{
+    skipDead();
+    return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+TimeNs
+EventQueue::runOne()
+{
+    skipDead();
+    panic_if(heap_.empty(), "runOne() on an empty event queue");
+    // std::priority_queue::top() is const; the entry is moved out via
+    // const_cast which is safe because it is popped immediately.
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    pending_.erase(entry.id);
+    entry.fn(entry.when);
+    return entry.when;
+}
+
+} // namespace preempt::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled for the same time fire in scheduling order (a
+ * monotonically increasing sequence number breaks ties), so a fixed
+ * seed always reproduces the same simulation.
+ */
+
+#ifndef PREEMPT_SIM_EVENT_QUEUE_HH
+#define PREEMPT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace preempt::sim {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Invalid handle constant. */
+inline constexpr EventId kInvalidEvent = 0;
+
+/** Min-heap of timed callbacks with O(1) cancellation. */
+class EventQueue
+{
+  public:
+    EventQueue();
+
+    /**
+     * Schedule a callback at an absolute time.
+     *
+     * @param when absolute simulated time; must be >= the time of the
+     *             event currently firing.
+     * @param fn   callback, invoked with the firing time.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(TimeNs when, std::function<void(TimeNs)> fn);
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that
+     * already fired (or was already cancelled) is a harmless no-op,
+     * which lets runtimes invalidate stale preemption/completion
+     * events without bookkeeping races.
+     */
+    void cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const;
+
+    /** Time of the earliest live event (kTimeNever when empty). */
+    TimeNs nextTime() const;
+
+    /**
+     * Pop and run the earliest event.
+     * @return the time at which the event fired.
+     */
+    TimeNs runOne();
+
+    /** Number of live (non-cancelled) events. */
+    std::size_t size() const { return pending_.size(); }
+
+    /** Total events ever scheduled (for stats / debugging). */
+    std::uint64_t scheduledCount() const { return nextSeq_ - 1; }
+
+  private:
+    struct Entry
+    {
+        TimeNs when;
+        EventId id;
+        std::function<void(TimeNs)> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Discard cancelled entries at the heap top. */
+    void skipDead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> pending_;   ///< scheduled, not yet fired
+    mutable std::unordered_set<EventId> cancelled_;
+    EventId nextSeq_;
+};
+
+} // namespace preempt::sim
+
+#endif // PREEMPT_SIM_EVENT_QUEUE_HH

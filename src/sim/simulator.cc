@@ -1,0 +1,67 @@
+#include "sim/simulator.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace preempt::sim {
+
+Simulator::Simulator(std::uint64_t seed)
+    : now_(0), rng_(seed), stopped_(false), eventsRun_(0)
+{
+}
+
+EventId
+Simulator::at(TimeNs when, std::function<void(TimeNs)> fn)
+{
+    panic_if(when < now_, "scheduling an event in the past");
+    return events_.schedule(when, std::move(fn));
+}
+
+std::function<void()>
+Simulator::every(TimeNs interval, std::function<void(TimeNs)> fn)
+{
+    fatal_if(interval == 0, "periodic task interval must be > 0");
+    // Shared state so the cancel closure can stop future reschedules.
+    auto state = std::make_shared<std::pair<bool, EventId>>(false,
+                                                            kInvalidEvent);
+    auto tick = std::make_shared<std::function<void(TimeNs)>>();
+    *tick = [this, interval, fn = std::move(fn), state, tick](TimeNs t) {
+        if (state->first)
+            return;
+        fn(t);
+        if (!state->first)
+            state->second = events_.schedule(t + interval, *tick);
+    };
+    state->second = after(interval, *tick);
+    return [this, state]() {
+        state->first = true;
+        events_.cancel(state->second);
+    };
+}
+
+void
+Simulator::runUntil(TimeNs limit)
+{
+    stopped_ = false;
+    while (!stopped_ && !events_.empty() && events_.nextTime() <= limit) {
+        now_ = events_.nextTime();
+        events_.runOne();
+        ++eventsRun_;
+    }
+    if (now_ < limit && events_.empty())
+        now_ = limit;
+}
+
+void
+Simulator::runAll()
+{
+    stopped_ = false;
+    while (!stopped_ && !events_.empty()) {
+        now_ = events_.nextTime();
+        events_.runOne();
+        ++eventsRun_;
+    }
+}
+
+} // namespace preempt::sim

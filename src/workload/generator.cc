@@ -1,0 +1,64 @@
+#include "workload/generator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace preempt::workload {
+
+OpenLoopGenerator::OpenLoopGenerator(sim::Simulator &sim, WorkloadSpec spec,
+                                     ArrivalFn sink)
+    : sim_(sim), spec_(std::move(spec)), sink_(std::move(sink)),
+      rng_(sim.rng().fork(0x67656e72)), nextId_(0)
+{
+    fatal_if(!sink_, "generator needs an arrival sink");
+    fatal_if(spec_.duration == 0, "workload duration must be > 0");
+    fatal_if(spec_.beFraction > 0 && !spec_.beService,
+             "beFraction > 0 requires a best-effort service law");
+}
+
+void
+OpenLoopGenerator::start()
+{
+    scheduleNext(sim_.now());
+}
+
+void
+OpenLoopGenerator::scheduleNext(TimeNs from)
+{
+    // Piecewise-constant rate: sample with the instantaneous rate.
+    // Rates change on timescales far longer than interarrival gaps, so
+    // plain inversion per-phase is accurate.
+    double rps = spec_.rate.at(from);
+    panic_if(rps <= 0, "arrival rate must stay positive");
+    double gap_s = -std::log(1.0 - rng_.uniform()) / rps;
+    TimeNs at = from + secToNs(gap_s);
+    if (at >= spec_.duration)
+        return; // open loop closes at the horizon
+    sim_.at(at, [this](TimeNs now) {
+        emit(now);
+        scheduleNext(now);
+    });
+}
+
+void
+OpenLoopGenerator::emit(TimeNs now)
+{
+    pool_.emplace_back();
+    Request &req = pool_.back();
+    req.id = nextId_++;
+    req.arrival = now;
+    bool be = spec_.beFraction > 0 && rng_.uniform() < spec_.beFraction;
+    if (be) {
+        req.cls = RequestClass::BestEffort;
+        req.service = spec_.beService->sample(now, rng_);
+    } else {
+        req.cls = RequestClass::LatencyCritical;
+        req.service = spec_.service.sample(now, rng_);
+    }
+    req.remaining = req.service;
+    req.key = rng_.next64();
+    sink_(req);
+}
+
+} // namespace preempt::workload

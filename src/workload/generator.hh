@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Open-loop request generator (the paper's modified-wrk2 analogue):
+ * Poisson arrivals with a possibly time-varying rate, service demands
+ * drawn from a ServiceLaw, and an optional best-effort traffic share.
+ */
+
+#ifndef PREEMPT_WORKLOAD_GENERATOR_HH
+#define PREEMPT_WORKLOAD_GENERATOR_HH
+
+#include <deque>
+#include <functional>
+
+#include "common/rng.hh"
+#include "sim/simulator.hh"
+#include "workload/request.hh"
+#include "workload/spec.hh"
+
+namespace preempt::workload {
+
+/**
+ * Generates the arrival stream of a WorkloadSpec into a server
+ * callback. Owns the Request storage (stable addresses) for the whole
+ * run, acting as the request memory pool.
+ */
+class OpenLoopGenerator
+{
+  public:
+    using ArrivalFn = std::function<void(Request &)>;
+
+    /**
+     * @param sim   simulation driver
+     * @param spec  what/when to generate
+     * @param sink  invoked at each arrival time with the new request
+     */
+    OpenLoopGenerator(sim::Simulator &sim, WorkloadSpec spec,
+                      ArrivalFn sink);
+
+    /** Begin generating; arrivals stop at spec.duration. */
+    void start();
+
+    /** Requests generated so far. */
+    std::uint64_t generated() const { return nextId_; }
+
+    /** Access to the request pool (for end-of-run audits). */
+    const std::deque<Request> &pool() const { return pool_; }
+
+  private:
+    void scheduleNext(TimeNs from);
+    void emit(TimeNs now);
+
+    sim::Simulator &sim_;
+    WorkloadSpec spec_;
+    ArrivalFn sink_;
+    Rng rng_;
+    std::uint64_t nextId_;
+    std::deque<Request> pool_;
+};
+
+} // namespace preempt::workload
+
+#endif // PREEMPT_WORKLOAD_GENERATOR_HH

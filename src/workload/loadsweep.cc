@@ -1,0 +1,30 @@
+#include "workload/loadsweep.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace preempt::workload {
+
+SweepResult
+sweepLoad(const RunAtLoadFn &run, double start_rps, double end_rps,
+          int steps, TimeNs p99_bound)
+{
+    fatal_if(steps < 2, "load sweep needs at least two steps");
+    fatal_if(end_rps <= start_rps, "load sweep needs end > start");
+    SweepResult result;
+    double step = (end_rps - start_rps) / static_cast<double>(steps - 1);
+    for (int i = 0; i < steps; ++i) {
+        double offered = start_rps + step * static_cast<double>(i);
+        SweepPoint p = run(offered);
+        p.offeredRps = offered;
+        if (p.p99 != 0 && p.p99 <= p99_bound &&
+            p.achievedRps >= 0.95 * offered) {
+            result.maxGoodRps = std::max(result.maxGoodRps, offered);
+        }
+        result.points.push_back(p);
+    }
+    return result;
+}
+
+} // namespace preempt::workload

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Load-sweep driver: runs a server model at increasing offered loads
+ * and extracts the paper's throughput metric — the maximum load whose
+ * 99th-percentile latency stays within a bound (section V-A bounds it
+ * to 200x the average latency of a stable system).
+ */
+
+#ifndef PREEMPT_WORKLOAD_LOADSWEEP_HH
+#define PREEMPT_WORKLOAD_LOADSWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace preempt::workload {
+
+/** One measured operating point. */
+struct SweepPoint
+{
+    double offeredRps = 0;
+    double achievedRps = 0;
+    TimeNs p50 = 0;
+    TimeNs p99 = 0;
+    double overheadRatio = 0; ///< preemption overhead / execution time
+};
+
+/** Result of a full sweep. */
+struct SweepResult
+{
+    std::vector<SweepPoint> points;
+    /** Largest offered load whose p99 met the bound (0 when none). */
+    double maxGoodRps = 0;
+};
+
+/** Runs one experiment at a given offered load. */
+using RunAtLoadFn = std::function<SweepPoint(double offered_rps)>;
+
+/**
+ * Sweep offered load across [start, end] in a fixed number of steps.
+ *
+ * @param run        experiment body
+ * @param start_rps  first offered load
+ * @param end_rps    last offered load
+ * @param steps      number of operating points (>= 2)
+ * @param p99_bound  latency bound defining "good" throughput
+ */
+SweepResult sweepLoad(const RunAtLoadFn &run, double start_rps,
+                      double end_rps, int steps, TimeNs p99_bound);
+
+} // namespace preempt::workload
+
+#endif // PREEMPT_WORKLOAD_LOADSWEEP_HH

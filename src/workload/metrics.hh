@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Run-level metrics every simulated runtime reports: latency
+ * histograms per traffic class, throughput, preemption accounting, and
+ * SLO violation tracking.
+ */
+
+#ifndef PREEMPT_WORKLOAD_METRICS_HH
+#define PREEMPT_WORKLOAD_METRICS_HH
+
+#include <cstdint>
+
+#include "common/histogram.hh"
+#include "common/time.hh"
+#include "workload/request.hh"
+
+namespace preempt::workload {
+
+/** Mutable metrics accumulator shared by the runtime models. */
+class RunMetrics
+{
+  public:
+    RunMetrics() = default;
+
+    /** Record a completed request. */
+    void
+    onCompletion(const Request &req)
+    {
+        LatencyHistogram &h =
+            req.cls == RequestClass::BestEffort ? beLatency_ : lcLatency_;
+        h.record(req.latency());
+        serviceDemand_.record(req.service);
+        totalPreemptions_ += static_cast<std::uint64_t>(req.preemptions);
+        ++completed_;
+    }
+
+    /** Record an arrival (for offered-load accounting). */
+    void onArrival(const Request &) { ++arrived_; }
+
+    /** Record a cancelled (SLO-hopeless, dropped) request. */
+    void onCancellation(const Request &) { ++cancelled_; }
+
+    /** Account pure preemption overhead CPU time. */
+    void addPreemptionOverhead(TimeNs t) { preemptionOverheadNs_ += t; }
+
+    /** Account useful request execution CPU time. */
+    void addExecution(TimeNs t) { executionNs_ += t; }
+
+    const LatencyHistogram &lcLatency() const { return lcLatency_; }
+    const LatencyHistogram &beLatency() const { return beLatency_; }
+    const LatencyHistogram &serviceDemand() const { return serviceDemand_; }
+
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t arrived() const { return arrived_; }
+    std::uint64_t cancelled() const { return cancelled_; }
+    std::uint64_t totalPreemptions() const { return totalPreemptions_; }
+    TimeNs preemptionOverheadNs() const { return preemptionOverheadNs_; }
+    TimeNs executionNs() const { return executionNs_; }
+
+    /** Achieved throughput over a run of the given length. */
+    double
+    throughputRps(TimeNs duration) const
+    {
+        return duration == 0
+                   ? 0.0
+                   : static_cast<double>(completed_) / nsToSec(duration);
+    }
+
+    /** Preemption overhead normalised to execution time (Fig. 1 R). */
+    double
+    overheadRatio() const
+    {
+        return executionNs_ == 0
+                   ? 0.0
+                   : static_cast<double>(preemptionOverheadNs_) /
+                         static_cast<double>(executionNs_);
+    }
+
+    void
+    reset()
+    {
+        lcLatency_.reset();
+        beLatency_.reset();
+        serviceDemand_.reset();
+        completed_ = 0;
+        arrived_ = 0;
+        cancelled_ = 0;
+        totalPreemptions_ = 0;
+        preemptionOverheadNs_ = 0;
+        executionNs_ = 0;
+    }
+
+  private:
+    LatencyHistogram lcLatency_;
+    LatencyHistogram beLatency_;
+    LatencyHistogram serviceDemand_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t arrived_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t totalPreemptions_ = 0;
+    TimeNs preemptionOverheadNs_ = 0;
+    TimeNs executionNs_ = 0;
+};
+
+} // namespace preempt::workload
+
+#endif // PREEMPT_WORKLOAD_METRICS_HH

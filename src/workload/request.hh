@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The unit of work every simulated runtime schedules: a request with a
+ * sampled service demand, bookkeeping timestamps, and intrusive hooks
+ * for the queues of Fig. 6 (local FIFO queue, global running list,
+ * global free list).
+ */
+
+#ifndef PREEMPT_WORKLOAD_REQUEST_HH
+#define PREEMPT_WORKLOAD_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/intrusive_list.hh"
+#include "common/time.hh"
+
+namespace preempt::workload {
+
+/** Traffic class of a request. */
+enum class RequestClass : std::uint8_t
+{
+    LatencyCritical = 0,
+    BestEffort = 1,
+};
+
+/** One request flowing through a simulated runtime. */
+struct Request
+{
+    std::uint64_t id = 0;
+    RequestClass cls = RequestClass::LatencyCritical;
+
+    TimeNs arrival = 0;       ///< when the request hit the server
+    TimeNs readyAt = 0;       ///< last time it became runnable
+                              ///< (arrival, or preemption requeue)
+    TimeNs service = 0;       ///< total CPU demand
+    TimeNs remaining = 0;     ///< demand not yet executed
+    TimeNs firstStart = kTimeNever; ///< first time on a worker
+    TimeNs completion = kTimeNever; ///< finish time
+
+    int preemptions = 0;      ///< times this request was preempted
+    std::uint64_t key = 0;    ///< application key (e.g. KVS key)
+
+    /** Hook for whichever scheduler queue the request currently sits
+     *  on; a request is on at most one queue at a time. */
+    ListHook queueHook;
+
+    bool done() const { return completion != kTimeNever; }
+
+    /** Sojourn time (latency) once completed. */
+    TimeNs
+    latency() const
+    {
+        return done() ? completion - arrival : kTimeNever;
+    }
+
+    /** Latency normalised by service demand. */
+    double
+    slowdown() const
+    {
+        if (!done() || service == 0)
+            return 0.0;
+        return static_cast<double>(latency()) /
+               static_cast<double>(service);
+    }
+};
+
+/** FIFO of requests (intrusive). */
+using RequestQueue = IntrusiveList<Request, &Request::queueHook>;
+
+} // namespace preempt::workload
+
+#endif // PREEMPT_WORKLOAD_REQUEST_HH

@@ -1,0 +1,82 @@
+#include "workload/spec.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace preempt::workload {
+
+ServiceLaw::ServiceLaw(DistributionPtr dist)
+    : a_(std::move(dist)), b_(nullptr), switchAt_(kTimeNever)
+{
+    fatal_if(!a_, "service law requires a distribution");
+    name_ = a_->name();
+}
+
+ServiceLaw::ServiceLaw(DistributionPtr dist_a, DistributionPtr dist_b,
+                       TimeNs switch_at, std::string label)
+    : a_(std::move(dist_a)), b_(std::move(dist_b)), switchAt_(switch_at),
+      name_(std::move(label))
+{
+    fatal_if(!a_ || !b_, "dynamic service law requires two distributions");
+}
+
+TimeNs
+ServiceLaw::sample(TimeNs t, Rng &rng) const
+{
+    const Distribution &d = (b_ && t >= switchAt_) ? *b_ : *a_;
+    TimeNs v = d.sampleNs(rng);
+    return v == 0 ? 1 : v; // no zero-demand requests
+}
+
+double
+ServiceLaw::meanAt(TimeNs t) const
+{
+    return (b_ && t >= switchAt_) ? b_->mean() : a_->mean();
+}
+
+RateLaw::RateLaw(std::function<double(TimeNs)> fn, double peak,
+                 std::string name)
+    : fn_(std::move(fn)), peak_(peak), name_(std::move(name))
+{
+}
+
+RateLaw
+RateLaw::constant(double rps)
+{
+    fatal_if(rps <= 0, "arrival rate must be > 0");
+    return RateLaw([rps](TimeNs) { return rps; }, rps, "constant");
+}
+
+RateLaw
+RateLaw::bursty(double base_rps, double peak_rps, TimeNs period,
+                double duty)
+{
+    fatal_if(base_rps <= 0 || peak_rps < base_rps,
+             "bursty rate needs peak >= base > 0");
+    fatal_if(period == 0 || duty <= 0 || duty >= 1,
+             "bursty rate needs period > 0 and duty in (0,1)");
+    auto fn = [=](TimeNs t) {
+        TimeNs phase = t % period;
+        // The spike sits in the middle of each period.
+        TimeNs spike_len = static_cast<TimeNs>(
+            duty * static_cast<double>(period));
+        TimeNs spike_start = (period - spike_len) / 2;
+        bool in_spike = phase >= spike_start &&
+                        phase < spike_start + spike_len;
+        return in_spike ? peak_rps : base_rps;
+    };
+    return RateLaw(fn, peak_rps, "bursty");
+}
+
+ServiceLaw
+makeServiceLaw(const std::string &which, TimeNs duration)
+{
+    if (which == "C") {
+        return ServiceLaw(makePaperWorkload("A1"), makePaperWorkload("B"),
+                          duration / 2, "C(A1->B)");
+    }
+    return ServiceLaw(makePaperWorkload(which));
+}
+
+} // namespace preempt::workload

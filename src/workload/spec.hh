@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Workload specifications: service-time laws (possibly phase-dependent
+ * as in the paper's dynamic workload C) and arrival-rate laws
+ * (constant Poisson or the bursty/spiky pattern of Fig. 14).
+ */
+
+#ifndef PREEMPT_WORKLOAD_SPEC_HH
+#define PREEMPT_WORKLOAD_SPEC_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dist.hh"
+#include "common/time.hh"
+#include "workload/request.hh"
+
+namespace preempt::workload {
+
+/**
+ * A service-time law that may change over simulated time. Workload C
+ * is heavy-tailed (A1) for the first half of the run and light-tailed
+ * (B) for the second half.
+ */
+class ServiceLaw
+{
+  public:
+    /** Stationary law. */
+    explicit ServiceLaw(DistributionPtr dist);
+
+    /** Phase-switching law: dist_a before switch_at, dist_b after. */
+    ServiceLaw(DistributionPtr dist_a, DistributionPtr dist_b,
+               TimeNs switch_at, std::string label);
+
+    /** Sample a service demand for an arrival at time t. */
+    TimeNs sample(TimeNs t, Rng &rng) const;
+
+    /** Mean at time t. */
+    double meanAt(TimeNs t) const;
+
+    /** Overall (phase-weighted is ill-defined; use first phase). */
+    double initialMean() const { return a_->mean(); }
+
+    const std::string &name() const { return name_; }
+
+    /** True when the law switches distributions mid-run. */
+    bool dynamic() const { return b_ != nullptr; }
+
+    TimeNs switchTime() const { return switchAt_; }
+
+  private:
+    DistributionPtr a_;
+    DistributionPtr b_;
+    TimeNs switchAt_;
+    std::string name_;
+};
+
+/** Arrival-rate law (requests/second) over simulated time. */
+class RateLaw
+{
+  public:
+    /** Constant rate. */
+    static RateLaw constant(double rps);
+
+    /**
+     * Square-wave bursty pattern (Fig. 14): baseline rps with periodic
+     * spikes to peak rps.
+     *
+     * @param base_rps   rate outside spikes
+     * @param peak_rps   rate during spikes
+     * @param period     full cycle length
+     * @param duty       fraction of the period spent at peak
+     */
+    static RateLaw bursty(double base_rps, double peak_rps, TimeNs period,
+                          double duty);
+
+    /** Rate at time t. */
+    double at(TimeNs t) const { return fn_(t); }
+
+    /** Largest rate the law ever produces (for sizing). */
+    double peak() const { return peak_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    RateLaw(std::function<double(TimeNs)> fn, double peak,
+            std::string name);
+
+    std::function<double(TimeNs)> fn_;
+    double peak_;
+    std::string name_;
+};
+
+/**
+ * Full workload description for one experiment: what arrives, how
+ * often, and for how long.
+ */
+struct WorkloadSpec
+{
+    ServiceLaw service;
+    RateLaw rate;
+    TimeNs duration;
+    /** Fraction of arrivals that are best-effort (Fig. 13/14: 2%). */
+    double beFraction = 0.0;
+    /** Service law for best-effort requests when beFraction > 0. */
+    std::shared_ptr<ServiceLaw> beService = nullptr;
+};
+
+/**
+ * The paper's synthetic workloads ("A1", "A2", "B", "C"); C switches
+ * from A1 to B at duration/2.
+ */
+ServiceLaw makeServiceLaw(const std::string &which, TimeNs duration);
+
+} // namespace preempt::workload
+
+#endif // PREEMPT_WORKLOAD_SPEC_HH

@@ -1,0 +1,123 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace preempt::workload {
+
+void
+Trace::sort()
+{
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const TraceEntry &a, const TraceEntry &b) {
+                         return a.arrival < b.arrival;
+                     });
+}
+
+TimeNs
+Trace::duration() const
+{
+    return entries_.empty() ? 0 : entries_.back().arrival;
+}
+
+double
+Trace::meanServiceNs() const
+{
+    if (entries_.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &e : entries_)
+        sum += static_cast<double>(e.service);
+    return sum / static_cast<double>(entries_.size());
+}
+
+Trace
+Trace::load(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    long lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string field;
+        TraceEntry e;
+        fatal_if(!std::getline(ls, field, ','),
+                 "trace line %ld: missing arrival", lineno);
+        e.arrival = static_cast<TimeNs>(std::stoull(field));
+        fatal_if(!std::getline(ls, field, ','),
+                 "trace line %ld: missing service", lineno);
+        e.service = static_cast<TimeNs>(std::stoull(field));
+        fatal_if(e.service == 0, "trace line %ld: zero service time",
+                 lineno);
+        if (std::getline(ls, field, ',')) {
+            int cls = std::stoi(field);
+            fatal_if(cls != 0 && cls != 1,
+                     "trace line %ld: class must be 0 or 1", lineno);
+            e.cls = cls == 1 ? RequestClass::BestEffort
+                             : RequestClass::LatencyCritical;
+        }
+        trace.add(e);
+    }
+    trace.sort();
+    return trace;
+}
+
+Trace
+Trace::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in.good(), "cannot open trace file %s", path.c_str());
+    return load(in);
+}
+
+void
+Trace::save(std::ostream &out) const
+{
+    out << "# arrival_ns,service_ns,class\n";
+    for (const auto &e : entries_) {
+        out << e.arrival << ',' << e.service << ','
+            << (e.cls == RequestClass::BestEffort ? 1 : 0) << '\n';
+    }
+}
+
+void
+Trace::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out.good(), "cannot write trace file %s", path.c_str());
+    save(out);
+}
+
+TraceReplayGenerator::TraceReplayGenerator(sim::Simulator &sim,
+                                           Trace trace, ArrivalFn sink)
+    : sim_(sim), trace_(std::move(trace)), sink_(std::move(sink)),
+      nextId_(0)
+{
+    fatal_if(!sink_, "trace replay needs an arrival sink");
+}
+
+void
+TraceReplayGenerator::start()
+{
+    for (const TraceEntry &e : trace_.entries()) {
+        sim_.at(std::max(e.arrival, sim_.now()), [this, e](TimeNs now) {
+            pool_.emplace_back();
+            Request &req = pool_.back();
+            req.id = nextId_++;
+            req.arrival = now;
+            req.cls = e.cls;
+            req.service = e.service;
+            req.remaining = e.service;
+            sink_(req);
+        });
+    }
+}
+
+} // namespace preempt::workload

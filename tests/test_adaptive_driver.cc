@@ -1,0 +1,117 @@
+/** @file Tests for the real-runtime Algorithm 1 driver. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/dist.hh"
+#include "common/rng.hh"
+#include "preemptible/adaptive_driver.hh"
+#include "preemptible/hosttime.hh"
+
+namespace preempt::runtime {
+namespace {
+
+PreemptibleRuntime::Options
+fastOptions()
+{
+    PreemptibleRuntime::Options opt;
+    opt.nWorkers = 1;
+    opt.quantum = msToNs(8);
+    opt.timer.idleSleep = usToNs(200);
+    opt.idleNap = usToNs(50);
+    return opt;
+}
+
+core::QuantumControllerParams
+hostParams()
+{
+    core::QuantumControllerParams p;
+    p.tMin = msToNs(1);
+    p.tMax = msToNs(16);
+    p.k1 = msToNs(2);
+    p.k2 = msToNs(2);
+    p.k3 = msToNs(2);
+    p.queueThreshold = 4;
+    return p;
+}
+
+TEST(AdaptiveDriver, TakesPeriodicDecisions)
+{
+    PreemptibleRuntime rt(fastOptions());
+    AdaptiveQuantumDriver::Options opt;
+    opt.params = hostParams();
+    opt.period = msToNs(20);
+    AdaptiveQuantumDriver driver(rt, opt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    driver.stop();
+    EXPECT_GE(driver.decisions(), 3u);
+    rt.shutdown();
+}
+
+TEST(AdaptiveDriver, GrowsQuantumWhenIdle)
+{
+    PreemptibleRuntime rt(fastOptions());
+    AdaptiveQuantumDriver::Options opt;
+    opt.params = hostParams();
+    opt.period = msToNs(15);
+    opt.maxLoadRps = 10000; // idle load is far below 10% of this
+    AdaptiveQuantumDriver driver(rt, opt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    driver.stop();
+    // Idle: Algorithm 1 grows the quantum toward T_max.
+    EXPECT_GT(rt.quantum(), msToNs(8));
+    rt.shutdown();
+}
+
+TEST(AdaptiveDriver, ShrinksOnHeavyTailSamples)
+{
+    PreemptibleRuntime rt(fastOptions());
+    AdaptiveQuantumDriver::Options opt;
+    opt.params = hostParams();
+    opt.period = msToNs(15);
+    opt.maxLoadRps = 1; // every observed load counts as "high"
+    AdaptiveQuantumDriver driver(rt, opt);
+    // Keep some completions flowing so load > L_high.
+    std::atomic<bool> stop{false};
+    std::thread feeder([&] {
+        while (!stop.load()) {
+            rt.submit([] {});
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    stop.store(true);
+    feeder.join();
+    driver.stop();
+    EXPECT_LT(rt.quantum(), msToNs(8));
+    rt.quiesce();
+    rt.shutdown();
+}
+
+TEST(AdaptiveDriver, LatencySamplesFeedTailIndex)
+{
+    PreemptibleRuntime rt(fastOptions());
+    AdaptiveQuantumDriver::Options opt;
+    opt.params = hostParams();
+    opt.period = msToNs(15);
+    opt.maxLoadRps = 0; // capacity unknown: load rules disabled,
+                        // only the tail-index rule can fire
+    AdaptiveQuantumDriver driver(rt, opt);
+    // A heavy-tailed (Pareto alpha ~1.2) latency sample stream.
+    Rng rng(1);
+    ParetoDist pareto(1000.0, 1.2);
+    for (int i = 0; i < 5000; ++i)
+        driver.addLatencySample(
+            static_cast<TimeNs>(pareto.sample(rng)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    driver.stop();
+    // Heavy tail triggers the k2 shrink rule.
+    EXPECT_LT(rt.quantum(), msToNs(8));
+    rt.shutdown();
+}
+
+} // namespace
+} // namespace preempt::runtime

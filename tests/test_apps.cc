@@ -1,0 +1,297 @@
+/** @file Tests for the KVS, the compressor, and the RPC server model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/compressor.hh"
+#include "apps/kvstore.hh"
+#include "apps/rpc_model.hh"
+#include "common/rng.hh"
+#include "workload/generator.hh"
+
+namespace preempt::apps {
+namespace {
+
+TEST(KvStore, SetGetRoundtrip)
+{
+    KvStore store(4, 1024);
+    EXPECT_EQ(store.set(42, "hello"), KvResult::Ok);
+    std::string out;
+    EXPECT_EQ(store.get(42, out), KvResult::Ok);
+    EXPECT_EQ(out, "hello");
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStore, OverwriteReplacesValue)
+{
+    KvStore store(4, 1024);
+    store.set(7, "first");
+    store.set(7, "second value");
+    std::string out;
+    ASSERT_EQ(store.get(7, out), KvResult::Ok);
+    EXPECT_EQ(out, "second value");
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStore, MissingKeyNotFound)
+{
+    KvStore store(4, 1024);
+    std::string out;
+    EXPECT_EQ(store.get(99, out), KvResult::NotFound);
+}
+
+TEST(KvStore, EraseRemoves)
+{
+    KvStore store(4, 1024);
+    store.set(1, "x");
+    EXPECT_EQ(store.erase(1), KvResult::Ok);
+    std::string out;
+    EXPECT_EQ(store.get(1, out), KvResult::NotFound);
+    EXPECT_EQ(store.erase(1), KvResult::NotFound);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStore, ValueTooLargeRejected)
+{
+    KvStore store(4, 1024);
+    std::string big(KvStore::kMaxValue + 1, 'x');
+    EXPECT_EQ(store.set(1, big), KvResult::ValueTooLarge);
+    std::string max(KvStore::kMaxValue, 'y');
+    EXPECT_EQ(store.set(2, max), KvResult::Ok);
+    std::string out;
+    ASSERT_EQ(store.get(2, out), KvResult::Ok);
+    EXPECT_EQ(out, max);
+}
+
+TEST(KvStore, BucketOverflowReportsFull)
+{
+    // One partition, one bucket: capacity = kWays entries.
+    KvStore store(1, 1);
+    int stored = 0;
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        if (store.set(k, "v") == KvResult::Ok)
+            ++stored;
+    }
+    EXPECT_EQ(stored, 8); // kWays
+    EXPECT_EQ(store.size(), 8u);
+}
+
+TEST(KvStore, ManyKeysSurvive)
+{
+    KvStore store(8, 8192);
+    for (std::uint64_t k = 0; k < 20000; ++k)
+        ASSERT_EQ(store.set(k, std::to_string(k)), KvResult::Ok);
+    std::string out;
+    for (std::uint64_t k = 0; k < 20000; ++k) {
+        ASSERT_EQ(store.get(k, out), KvResult::Ok) << k;
+        ASSERT_EQ(out, std::to_string(k));
+    }
+    EXPECT_EQ(store.size(), 20000u);
+}
+
+TEST(KvStore, CountersTrackOps)
+{
+    KvStore store(2, 64);
+    store.set(1, "a");
+    std::string out;
+    store.get(1, out);
+    store.get(2, out);
+    EXPECT_EQ(store.sets(), 1u);
+    EXPECT_EQ(store.gets(), 2u);
+    EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(KvStore, ConcurrentReadersWithWriter)
+{
+    KvStore store(4, 4096);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        store.set(k, "initial-value-00");
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> bad{0};
+    std::thread writer([&] {
+        Rng rng(1);
+        for (int i = 0; i < 20000; ++i) {
+            std::uint64_t k = rng.below(1000);
+            store.set(k, i % 2 ? "updated-value-01" : "initial-value-00");
+        }
+        stop.store(true);
+    });
+    std::thread reader([&] {
+        Rng rng(2);
+        std::string out;
+        while (!stop.load()) {
+            std::uint64_t k = rng.below(1000);
+            if (store.get(k, out) == KvResult::Ok) {
+                // Seqlock must never expose a torn value.
+                if (out != "updated-value-01" && out != "initial-value-00")
+                    bad.fetch_add(1);
+            }
+        }
+    });
+    writer.join();
+    reader.join();
+    EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(Compressor, RoundtripCompressible)
+{
+    auto block = makeCompressibleBlock(Compressor::kBlockSize, 1);
+    Compressor comp;
+    auto packed = comp.compress(block);
+    EXPECT_LT(packed.size(), block.size()) << "text must compress";
+    auto restored = Compressor::decompress(packed);
+    EXPECT_EQ(restored, block);
+}
+
+TEST(Compressor, RoundtripIncompressibleRandom)
+{
+    Rng rng(2);
+    std::vector<std::uint8_t> data(10000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    Compressor comp;
+    auto packed = comp.compress(data);
+    auto restored = Compressor::decompress(packed);
+    EXPECT_EQ(restored, data);
+    // Random data may expand slightly but only by the framing.
+    EXPECT_LT(packed.size(), data.size() + data.size() / 64 + 16);
+}
+
+TEST(Compressor, EmptyInput)
+{
+    Compressor comp;
+    auto packed = comp.compress(nullptr, 0);
+    EXPECT_TRUE(packed.empty());
+    EXPECT_TRUE(Compressor::decompress(packed).empty());
+}
+
+TEST(Compressor, HighlyRepetitiveShrinksHard)
+{
+    std::vector<std::uint8_t> data(20000, 'a');
+    Compressor comp;
+    auto packed = comp.compress(data);
+    EXPECT_LT(packed.size(), data.size() / 20);
+    EXPECT_EQ(Compressor::decompress(packed), data);
+}
+
+TEST(Compressor, TracksByteCounters)
+{
+    Compressor comp;
+    auto block = makeCompressibleBlock(1000, 3);
+    comp.compress(block);
+    EXPECT_EQ(comp.bytesIn(), 1000u);
+    EXPECT_GT(comp.bytesOut(), 0u);
+}
+
+TEST(CompressorDeath, TruncatedStreamFatal)
+{
+    std::vector<std::uint8_t> bogus{0x80, 0x01}; // match token cut short
+    EXPECT_EXIT(Compressor::decompress(bogus), testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(CompressorDeath, CorruptDistanceFatal)
+{
+    // Match referencing data before the start of the output.
+    std::vector<std::uint8_t> bogus{0x80, 0x00, 0x10, 0x00};
+    EXPECT_EXIT(Compressor::decompress(bogus), testing::ExitedWithCode(1),
+                "distance");
+}
+
+// Property: roundtrip holds across sizes and seeds.
+class CompressorRoundtrip
+    : public testing::TestWithParam<std::pair<std::size_t, std::uint64_t>>
+{
+};
+
+TEST_P(CompressorRoundtrip, LosslessAtEverySize)
+{
+    auto [size, seed] = GetParam();
+    auto block = makeCompressibleBlock(size, seed);
+    Compressor comp;
+    auto restored = Compressor::decompress(comp.compress(block));
+    EXPECT_EQ(restored, block);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, CompressorRoundtrip,
+    testing::Values(std::pair<std::size_t, std::uint64_t>{1, 1},
+                    std::pair<std::size_t, std::uint64_t>{5, 2},
+                    std::pair<std::size_t, std::uint64_t>{130, 3},
+                    std::pair<std::size_t, std::uint64_t>{4097, 4},
+                    std::pair<std::size_t, std::uint64_t>{25 * 1024, 5},
+                    std::pair<std::size_t, std::uint64_t>{100 * 1024, 6}));
+
+TEST(RpcServerSim, ConservesRequests)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    RpcServerConfig rc;
+    rc.nKernelThreads = 4;
+    rc.userThreadsPerKernel = 4;
+    rc.quantum = usToNs(50);
+    RpcServerSim server(sim, cfg, rc);
+    workload::WorkloadSpec spec{
+        workload::ServiceLaw(std::make_shared<ExponentialDist>(20000.0)),
+        workload::RateLaw::constant(100e3), msToNs(50)};
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server.onArrival(r);
+                                    });
+    gen.start();
+    sim.runAll();
+    const auto &m = server.metrics();
+    EXPECT_GT(m.arrived(), 1000u);
+    EXPECT_EQ(m.arrived(), m.completed());
+    EXPECT_EQ(server.inFlight(), 0u);
+}
+
+TEST(RpcServerSim, BlockingBaselineNeverPreempts)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    RpcServerConfig rc;
+    rc.quantum = 0;
+    RpcServerSim server(sim, cfg, rc);
+    workload::WorkloadSpec spec{
+        workload::ServiceLaw(std::make_shared<ExponentialDist>(20000.0)),
+        workload::RateLaw::constant(100e3), msToNs(20)};
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server.onArrival(r);
+                                    });
+    gen.start();
+    sim.runAll();
+    EXPECT_EQ(server.metrics().totalPreemptions(), 0u);
+    EXPECT_EQ(server.name(), "rpc-blocking-pool");
+}
+
+TEST(RpcServerSim, MultiplexingPreemptsUnderLoad)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    RpcServerConfig rc;
+    rc.nKernelThreads = 2;
+    rc.userThreadsPerKernel = 8;
+    rc.quantum = usToNs(20);
+    RpcServerSim server(sim, cfg, rc);
+    workload::WorkloadSpec spec{
+        workload::ServiceLaw(std::make_shared<ExponentialDist>(50000.0)),
+        workload::RateLaw::constant(35e3), msToNs(50)};
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server.onArrival(r);
+                                    });
+    gen.start();
+    sim.runAll();
+    EXPECT_GT(server.metrics().totalPreemptions(), 100u);
+    EXPECT_EQ(server.metrics().arrived(), server.metrics().completed());
+}
+
+} // namespace
+} // namespace preempt::apps

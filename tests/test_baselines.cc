@@ -1,0 +1,128 @@
+/** @file Tests for the Shinjuku and Libinger baseline models. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/libinger_sim.hh"
+#include "baselines/shinjuku_sim.hh"
+#include "workload/generator.hh"
+
+namespace preempt::baselines {
+namespace {
+
+template <typename Server, typename Config>
+struct Harness
+{
+    Harness(Config cfg, double rps, const std::string &wl, TimeNs duration,
+            std::uint64_t seed = 42)
+        : sim(seed), server(sim, hwcfg, std::move(cfg))
+    {
+        workload::WorkloadSpec spec{
+            workload::makeServiceLaw(wl, duration),
+            workload::RateLaw::constant(rps), duration};
+        gen = std::make_unique<workload::OpenLoopGenerator>(
+            sim, std::move(spec),
+            [this](workload::Request &r) { server.onArrival(r); });
+        gen->start();
+    }
+
+    sim::Simulator sim;
+    hw::LatencyConfig hwcfg;
+    Server server;
+    std::unique_ptr<workload::OpenLoopGenerator> gen;
+};
+
+TEST(ShinjukuSim, ConservesRequests)
+{
+    ShinjukuConfig cfg;
+    cfg.nWorkers = 5;
+    cfg.quantum = usToNs(5);
+    Harness<ShinjukuSim, ShinjukuConfig> h(cfg, 300e3, "A1", msToNs(50));
+    h.sim.runAll();
+    const auto &m = h.server.metrics();
+    EXPECT_GT(m.arrived(), 1000u);
+    EXPECT_EQ(m.arrived(), m.completed());
+    EXPECT_EQ(h.server.inFlight(), 0u);
+    EXPECT_EQ(h.server.queueLen(), 0u);
+}
+
+TEST(ShinjukuSim, QuantumClampedToPracticalMinimum)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig hwcfg;
+    ShinjukuConfig cfg;
+    cfg.nWorkers = 2;
+    cfg.quantum = usToNs(1);
+    ShinjukuSim s(sim, hwcfg, cfg);
+    EXPECT_EQ(s.effectiveQuantum(), hwcfg.shinjukuMinQuantum);
+}
+
+TEST(ShinjukuSim, PreemptsLongRequests)
+{
+    ShinjukuConfig cfg;
+    cfg.nWorkers = 3;
+    cfg.quantum = usToNs(5);
+    Harness<ShinjukuSim, ShinjukuConfig> h(cfg, 100e3, "A1", msToNs(50));
+    h.sim.runAll();
+    EXPECT_GT(h.server.metrics().totalPreemptions(), 20u);
+}
+
+TEST(ShinjukuSim, NoPreemptWhenQuantumZero)
+{
+    ShinjukuConfig cfg;
+    cfg.nWorkers = 3;
+    cfg.quantum = 0;
+    Harness<ShinjukuSim, ShinjukuConfig> h(cfg, 100e3, "A1", msToNs(20));
+    h.sim.runAll();
+    EXPECT_EQ(h.server.metrics().totalPreemptions(), 0u);
+}
+
+TEST(ShinjukuSimDeath, ApicTargetLimitEnforced)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig hwcfg;
+    ShinjukuConfig cfg;
+    cfg.nWorkers = hwcfg.apicMaxTargets + 1;
+    EXPECT_EXIT(ShinjukuSim(sim, hwcfg, cfg), testing::ExitedWithCode(1),
+                "APIC");
+}
+
+TEST(LibingerSim, ConservesRequests)
+{
+    LibingerConfig cfg;
+    cfg.nWorkers = 5;
+    cfg.quantum = usToNs(60);
+    Harness<LibingerSim, LibingerConfig> h(cfg, 200e3, "A1", msToNs(50));
+    h.sim.runAll();
+    const auto &m = h.server.metrics();
+    EXPECT_GT(m.arrived(), 1000u);
+    EXPECT_EQ(m.arrived(), m.completed());
+    EXPECT_EQ(h.server.inFlight(), 0u);
+}
+
+TEST(LibingerSim, QuantumClampedToKernelFloor)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig hwcfg;
+    LibingerConfig cfg;
+    cfg.nWorkers = 2;
+    cfg.quantum = usToNs(5);
+    LibingerSim s(sim, hwcfg, cfg);
+    EXPECT_EQ(s.effectiveQuantum(), hwcfg.kernelTimerFloor);
+}
+
+TEST(LibingerSim, PreemptionOverheadDominatedBySignals)
+{
+    LibingerConfig cfg;
+    cfg.nWorkers = 2;
+    cfg.quantum = usToNs(60);
+    Harness<LibingerSim, LibingerConfig> h(cfg, 100e3, "A1", msToNs(50));
+    h.sim.runAll();
+    // Per-segment timer syscalls make Libinger's overhead ratio large
+    // for microsecond-scale requests (the paper's core critique).
+    EXPECT_GT(h.server.metrics().overheadRatio(), 0.3);
+}
+
+} // namespace
+} // namespace preempt::baselines

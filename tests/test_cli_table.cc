@@ -1,0 +1,113 @@
+/** @file Tests for the CLI flag parser and the console table. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+
+namespace preempt {
+namespace {
+
+CommandLine
+makeCli(std::vector<std::string> args)
+{
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    storage.insert(storage.begin(), "prog");
+    std::vector<char *> argv;
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    return CommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm)
+{
+    auto cli = makeCli({"--name=value", "--n=42", "--x=1.5"});
+    EXPECT_EQ(cli.getString("name", ""), "value");
+    EXPECT_EQ(cli.getInt("n", 0), 42);
+    EXPECT_DOUBLE_EQ(cli.getDouble("x", 0), 1.5);
+    cli.rejectUnknown();
+}
+
+TEST(Cli, SpaceForm)
+{
+    auto cli = makeCli({"--rate", "100"});
+    EXPECT_EQ(cli.getInt("rate", 0), 100);
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    auto cli = makeCli({});
+    EXPECT_EQ(cli.getString("missing", "dflt"), "dflt");
+    EXPECT_EQ(cli.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(cli.getDouble("missing", 2.5), 2.5);
+    EXPECT_TRUE(cli.getBool("missing", true));
+}
+
+TEST(Cli, BareFlagIsTrue)
+{
+    auto cli = makeCli({"--verbose"});
+    EXPECT_TRUE(cli.getBool("verbose", false));
+}
+
+TEST(Cli, BoolParses)
+{
+    auto cli = makeCli({"--a=true", "--b=0", "--c=yes"});
+    EXPECT_TRUE(cli.getBool("a", false));
+    EXPECT_FALSE(cli.getBool("b", true));
+    EXPECT_TRUE(cli.getBool("c", false));
+}
+
+TEST(CliDeath, BadIntIsFatal)
+{
+    auto cli = makeCli({"--n=abc"});
+    EXPECT_EXIT(cli.getInt("n", 0), testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(CliDeath, UnknownFlagRejected)
+{
+    auto cli = makeCli({"--typo=1"});
+    EXPECT_EXIT(cli.rejectUnknown(), testing::ExitedWithCode(1),
+                "unknown flag --typo");
+}
+
+TEST(CliDeath, PositionalArgumentRejected)
+{
+    EXPECT_EXIT(makeCli({"positional"}), testing::ExitedWithCode(1),
+                "unexpected positional");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    ConsoleTable t("demo");
+    t.header({"a", "long-header"});
+    t.row({"1", "2"});
+    t.row({"333", "4"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(ConsoleTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(ConsoleTable::num(5, 0), "5");
+}
+
+TEST(Table, RowsWithoutHeader)
+{
+    ConsoleTable t("bare");
+    t.row({"x", "y"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("x"), std::string::npos);
+    EXPECT_EQ(out.find("----"), std::string::npos);
+}
+
+} // namespace
+} // namespace preempt

@@ -1,0 +1,168 @@
+/** @file Tests for the intrusive list and the SPSC ring. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/intrusive_list.hh"
+#include "common/spsc_ring.hh"
+
+namespace preempt {
+namespace {
+
+struct Node
+{
+    int value = 0;
+    ListHook hook;
+    ListHook otherHook;
+};
+
+using NodeList = IntrusiveList<Node, &Node::hook>;
+
+TEST(IntrusiveList, FifoOrder)
+{
+    NodeList list;
+    Node a{1, {}, {}}, b{2, {}, {}}, c{3, {}, {}};
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.popFront()->value, 1);
+    EXPECT_EQ(list.popFront()->value, 2);
+    EXPECT_EQ(list.popFront()->value, 3);
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.popFront(), nullptr);
+}
+
+TEST(IntrusiveList, PushFront)
+{
+    NodeList list;
+    Node a{1, {}, {}}, b{2, {}, {}};
+    list.pushBack(&a);
+    list.pushFront(&b);
+    EXPECT_EQ(list.front()->value, 2);
+    EXPECT_EQ(list.popFront()->value, 2);
+    EXPECT_EQ(list.popFront()->value, 1);
+}
+
+TEST(IntrusiveList, EraseMiddle)
+{
+    NodeList list;
+    Node a{1, {}, {}}, b{2, {}, {}}, c{3, {}, {}};
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.erase(&b);
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.popFront()->value, 1);
+    EXPECT_EQ(list.popFront()->value, 3);
+    // b can be reinserted after removal.
+    list.pushBack(&b);
+    EXPECT_EQ(list.front()->value, 2);
+}
+
+TEST(IntrusiveList, MoveBetweenLists)
+{
+    NodeList l1, l2;
+    Node a{1, {}, {}};
+    l1.pushBack(&a);
+    l1.erase(&a);
+    l2.pushBack(&a);
+    EXPECT_TRUE(l1.empty());
+    EXPECT_EQ(l2.front(), &a);
+}
+
+TEST(IntrusiveList, TwoHooksTwoLists)
+{
+    IntrusiveList<Node, &Node::hook> l1;
+    IntrusiveList<Node, &Node::otherHook> l2;
+    Node a{7, {}, {}};
+    l1.pushBack(&a);
+    l2.pushBack(&a); // different hook: legal simultaneously
+    EXPECT_EQ(l1.front(), &a);
+    EXPECT_EQ(l2.front(), &a);
+}
+
+TEST(IntrusiveList, ForEachVisitsInOrder)
+{
+    NodeList list;
+    Node a{1, {}, {}}, b{2, {}, {}};
+    list.pushBack(&a);
+    list.pushBack(&b);
+    std::vector<int> seen;
+    list.forEach([&](Node *n) { seen.push_back(n->value); });
+    EXPECT_EQ(seen, (std::vector<int>{1, 2}));
+}
+
+TEST(IntrusiveListDeath, DoubleLinkPanics)
+{
+    NodeList list;
+    Node a{1, {}, {}};
+    list.pushBack(&a);
+    EXPECT_DEATH(list.pushBack(&a), "already on a list");
+}
+
+TEST(IntrusiveListDeath, EraseUnlinkedPanics)
+{
+    NodeList list;
+    Node a{1, {}, {}};
+    EXPECT_DEATH(list.erase(&a), "not on a list");
+}
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo)
+{
+    SpscRing<int> ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, FillDrain)
+{
+    SpscRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.push(i));
+    EXPECT_FALSE(ring.push(99)) << "full ring must reject";
+    int out;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(ring.pop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(ring.pop(out));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WrapAround)
+{
+    SpscRing<int> ring(4);
+    int out;
+    for (int round = 0; round < 100; ++round) {
+        EXPECT_TRUE(ring.push(round));
+        EXPECT_TRUE(ring.pop(out));
+        EXPECT_EQ(out, round);
+    }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer)
+{
+    SpscRing<std::uint64_t> ring(1024);
+    constexpr std::uint64_t kN = 200000;
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kN;) {
+            if (ring.push(i))
+                ++i;
+        }
+    });
+    std::uint64_t expected = 0;
+    std::uint64_t v;
+    while (expected < kN) {
+        if (ring.pop(v)) {
+            ASSERT_EQ(v, expected);
+            ++expected;
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+}
+
+} // namespace
+} // namespace preempt

@@ -1,0 +1,198 @@
+/** @file Tests for the deterministic event queue and the simulator. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+
+namespace preempt::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](TimeNs) { order.push_back(3); });
+    q.schedule(10, [&](TimeNs) { order.push_back(1); });
+    q.schedule(20, [&](TimeNs) { order.push_back(2); });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&, i](TimeNs) { order.push_back(i); });
+    while (!q.empty())
+        q.runOne();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(10, [&](TimeNs) { fired = true; });
+    q.cancel(id);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    EventId id = q.schedule(1, [](TimeNs) {});
+    q.runOne();
+    q.cancel(id); // must not corrupt accounting
+    EXPECT_EQ(q.size(), 0u);
+    bool fired = false;
+    q.schedule(2, [&](TimeNs) { fired = true; });
+    q.runOne();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, DoubleCancelIsNoop)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [](TimeNs) {});
+    q.schedule(20, [](TimeNs) {});
+    q.cancel(id);
+    q.cancel(id);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelInvalidIsNoop)
+{
+    EventQueue q;
+    q.cancel(kInvalidEvent);
+    q.cancel(12345);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeTracksEarliestLive)
+{
+    EventQueue q;
+    EventId early = q.schedule(10, [](TimeNs) {});
+    q.schedule(20, [](TimeNs) {});
+    EXPECT_EQ(q.nextTime(), 10u);
+    q.cancel(early);
+    EXPECT_EQ(q.nextTime(), 20u);
+}
+
+TEST(EventQueue, RunOneReturnsFireTime)
+{
+    EventQueue q;
+    q.schedule(42, [](TimeNs t) { EXPECT_EQ(t, 42u); });
+    EXPECT_EQ(q.runOne(), 42u);
+}
+
+TEST(EventQueueDeath, RunOneOnEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.runOne(), "empty event queue");
+}
+
+TEST(Simulator, TimeAdvancesWithEvents)
+{
+    Simulator sim(1);
+    std::vector<TimeNs> times;
+    sim.after(100, [&](TimeNs t) { times.push_back(t); });
+    sim.after(50, [&](TimeNs t) { times.push_back(t); });
+    sim.runAll();
+    EXPECT_EQ(times, (std::vector<TimeNs>{50, 100}));
+    EXPECT_EQ(sim.now(), 100u);
+    EXPECT_EQ(sim.eventsRun(), 2u);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon)
+{
+    Simulator sim(1);
+    int fired = 0;
+    sim.after(10, [&](TimeNs) { ++fired; });
+    sim.after(1000, [&](TimeNs) { ++fired; });
+    sim.runUntil(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.events().size(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenDrained)
+{
+    Simulator sim(1);
+    sim.runUntil(500);
+    EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator sim(1);
+    int depth = 0;
+    std::function<void(TimeNs)> chain = [&](TimeNs) {
+        if (++depth < 5)
+            sim.after(10, chain);
+    };
+    sim.after(10, chain);
+    sim.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, EveryRepeatsUntilCancelled)
+{
+    Simulator sim(1);
+    int ticks = 0;
+    auto cancel = sim.every(10, [&](TimeNs) { ++ticks; });
+    sim.runUntil(55);
+    EXPECT_EQ(ticks, 5);
+    cancel();
+    sim.runUntil(200);
+    EXPECT_EQ(ticks, 5);
+}
+
+TEST(Simulator, StopHaltsRun)
+{
+    Simulator sim(1);
+    int fired = 0;
+    sim.after(10, [&](TimeNs) {
+        ++fired;
+        sim.stop();
+    });
+    sim.after(20, [&](TimeNs) { ++fired; });
+    sim.runAll();
+    EXPECT_EQ(fired, 1);
+    // A later run resumes the remaining events.
+    sim.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorDeath, SchedulingInThePastPanics)
+{
+    Simulator sim(1);
+    sim.after(10, [](TimeNs) {});
+    sim.runAll();
+    EXPECT_DEATH(sim.at(5, [](TimeNs) {}), "past");
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    auto run = [](std::uint64_t seed) {
+        Simulator sim(seed);
+        std::uint64_t acc = 0;
+        for (int i = 0; i < 100; ++i) {
+            sim.after(sim.rng().below(1000) + 1,
+                      [&acc, i](TimeNs t) { acc = acc * 31 + t + i; });
+        }
+        sim.runAll();
+        return acc;
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8));
+}
+
+} // namespace
+} // namespace preempt::sim

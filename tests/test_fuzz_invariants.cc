@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Randomised cross-system invariant fuzzing: many (seed, system,
+ * workload, quantum, load) combinations, each checked against the
+ * invariants of DESIGN.md section 6 — request conservation, causality
+ * (latency >= service), and monotone bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/libinger_sim.hh"
+#include "baselines/oracle_sim.hh"
+#include "baselines/shinjuku_sim.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "workload/generator.hh"
+
+namespace preempt {
+namespace {
+
+struct FuzzCase
+{
+    std::uint64_t seed;
+};
+
+class FuzzInvariants : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzInvariants, RandomConfigurationHoldsInvariants)
+{
+    Rng pick(GetParam());
+    const char *systems[] = {"libpreemptible", "shinjuku", "libinger",
+                             "nouintr", "ps", "srpt"};
+    const char *workloads[] = {"A1", "A2", "B", "C"};
+    const char *system = systems[pick.below(6)];
+    const char *wl = workloads[pick.below(4)];
+    int workers = 1 + static_cast<int>(pick.below(6));
+    TimeNs quantum = pick.below(4) == 0
+                         ? 0
+                         : usToNs(3 + pick.below(100));
+    // Keep offered load at <= ~60% of the weakest capacity so every
+    // system drains.
+    double mean_us = std::string(wl) == "A2" ? 7.5 : 5.0;
+    double rps = 0.6 * static_cast<double>(workers) / (mean_us * 1e-6) *
+                 (0.3 + 0.5 * pick.uniform());
+    TimeNs duration = msToNs(20 + pick.below(30));
+
+    sim::Simulator sim(GetParam() * 7919 + 13);
+    hw::LatencyConfig cfg;
+    std::unique_ptr<runtime_sim::ServerModel> server;
+    if (std::string(system) == "shinjuku") {
+        baselines::ShinjukuConfig sc;
+        sc.nWorkers = workers;
+        sc.quantum = quantum;
+        server = std::make_unique<baselines::ShinjukuSim>(sim, cfg, sc);
+    } else if (std::string(system) == "libinger") {
+        baselines::LibingerConfig lc;
+        lc.nWorkers = workers;
+        lc.quantum = quantum;
+        server = std::make_unique<baselines::LibingerSim>(sim, cfg, lc);
+    } else if (std::string(system) == "ps") {
+        server =
+            std::make_unique<baselines::ProcessorSharingSim>(sim, workers);
+    } else if (std::string(system) == "srpt") {
+        server = std::make_unique<baselines::SrptSim>(sim, workers);
+    } else {
+        runtime_sim::LibPreemptibleConfig rc;
+        rc.nWorkers = workers;
+        rc.quantum = quantum;
+        rc.workStealing = pick.below(2) == 1;
+        rc.policy = pick.below(2) == 1
+                        ? runtime_sim::SchedPolicy::NewFirst
+                        : runtime_sim::SchedPolicy::RoundRobin;
+        if (std::string(system) == "nouintr")
+            rc.delivery = runtime_sim::TimerDelivery::KernelSignal;
+        server =
+            std::make_unique<runtime_sim::LibPreemptibleSim>(sim, cfg, rc);
+    }
+
+    bool causal = true;
+    std::uint64_t hooked = 0;
+    workload::WorkloadSpec spec{workload::makeServiceLaw(wl, duration),
+                                workload::RateLaw::constant(rps), duration};
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server->onArrival(r);
+                                    });
+    gen.start();
+    sim.runUntil(duration + secToNs(30));
+
+    // Conservation.
+    const auto &m = server->metrics();
+    ASSERT_GT(m.arrived(), 100u)
+        << system << "/" << wl << " rps=" << rps;
+    EXPECT_EQ(m.arrived(), m.completed())
+        << system << "/" << wl << " workers=" << workers
+        << " quantum=" << quantum << " rps=" << rps;
+
+    // Causality over the request pool.
+    for (const auto &req : gen.pool()) {
+        ASSERT_TRUE(req.done());
+        ASSERT_EQ(req.remaining, 0u);
+        if (req.latency() + 2 < req.service) // PS rounds within 1-2 ns
+            causal = false;
+        ++hooked;
+    }
+    EXPECT_TRUE(causal) << system << "/" << wl;
+    EXPECT_EQ(hooked, m.arrived());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInvariants,
+                         testing::Range<std::uint64_t>(1, 25));
+
+} // namespace
+} // namespace preempt

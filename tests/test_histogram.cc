@@ -1,0 +1,189 @@
+/** @file Unit and property tests for the log-bucket latency histogram. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+
+namespace preempt {
+namespace {
+
+TEST(Histogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(5), 0.0);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 32u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 31u);
+    // Values below the sub-bucket count are stored exactly; the
+    // median rank (16th of 32) is the value 15.
+    EXPECT_EQ(h.quantile(0.5), 15u);
+}
+
+TEST(Histogram, SingleValue)
+{
+    LatencyHistogram h;
+    h.record(1000);
+    EXPECT_EQ(h.p50(), h.p99());
+    EXPECT_NEAR(static_cast<double>(h.p50()), 1000.0, 1000.0 * 0.07);
+}
+
+TEST(Histogram, MeanAndStddevExact)
+{
+    LatencyHistogram h;
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_NEAR(h.stddev(), std::sqrt(200.0 / 3.0), 1e-9);
+}
+
+TEST(Histogram, RecordWithMultiplicity)
+{
+    LatencyHistogram h;
+    h.record(5, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.p50(), 5u);
+    h.record(7, 0); // no-op
+    EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(Histogram, QuantilesMonotonic)
+{
+    LatencyHistogram h;
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i)
+        h.record(rng.below(1000000));
+    std::uint64_t prev = 0;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+        std::uint64_t v = h.quantile(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+}
+
+TEST(Histogram, BoundedRelativeQuantileError)
+{
+    // Property: for uniform data the reported quantile is within ~7%
+    // of the exact order statistic (16 sub-buckets per octave).
+    LatencyHistogram h;
+    std::vector<std::uint64_t> exact;
+    Rng rng(2);
+    for (int i = 0; i < 200000; ++i) {
+        std::uint64_t v = 100 + rng.below(10000000);
+        h.record(v);
+        exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        auto idx = static_cast<std::size_t>(q * (exact.size() - 1));
+        double truth = static_cast<double>(exact[idx]);
+        double est = static_cast<double>(h.quantile(q));
+        EXPECT_NEAR(est, truth, truth * 0.07) << "q=" << q;
+    }
+}
+
+TEST(Histogram, FractionAbove)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 90; ++i)
+        h.record(10);
+    for (int i = 0; i < 10; ++i)
+        h.record(100000);
+    EXPECT_NEAR(h.fractionAbove(1000), 0.10, 1e-9);
+    EXPECT_NEAR(h.fractionAbove(200000), 0.0, 1e-9);
+    EXPECT_NEAR(h.fractionAbove(0), 1.0, 1e-9);
+}
+
+TEST(Histogram, FractionAboveHandlesHugeValues)
+{
+    LatencyHistogram h;
+    h.record(1ULL << 55);
+    h.record(10);
+    EXPECT_NEAR(h.fractionAbove(100), 0.5, 1e-9);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    LatencyHistogram a, b;
+    a.record(10);
+    a.record(1000);
+    b.record(500000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 10u);
+    EXPECT_GE(a.max(), 500000u);
+    // Merging an empty histogram changes nothing.
+    LatencyHistogram empty;
+    std::uint64_t before = a.count();
+    a.merge(empty);
+    EXPECT_EQ(a.count(), before);
+}
+
+TEST(Histogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(123);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+    h.record(7);
+    EXPECT_EQ(h.p50(), 7u);
+}
+
+TEST(Histogram, SummaryMentionsCount)
+{
+    LatencyHistogram h;
+    h.record(1000);
+    EXPECT_NE(h.summaryUs().find("n=1"), std::string::npos);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange)
+{
+    LatencyHistogram h;
+    h.record(1000000007ULL);
+    EXPECT_EQ(h.quantile(0.0), h.quantile(1.0));
+    EXPECT_GE(h.quantile(1.0), h.min());
+    EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+// Property sweep over magnitudes: recorded values round-trip with
+// bounded relative error at every scale.
+class HistogramScale : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramScale, RepresentativeWithinRelativeError)
+{
+    std::uint64_t base = GetParam();
+    LatencyHistogram h;
+    h.record(base);
+    double est = static_cast<double>(h.quantile(0.5));
+    double truth = static_cast<double>(base);
+    EXPECT_NEAR(est, truth, truth * 0.07 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramScale,
+                         testing::Values(1ULL, 10ULL, 100ULL, 1000ULL,
+                                         123456ULL, 98765432ULL,
+                                         1ULL << 40, 1ULL << 55));
+
+} // namespace
+} // namespace preempt

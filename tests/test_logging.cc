@@ -1,0 +1,51 @@
+/** @file Unit tests for the logging/error primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace preempt {
+namespace {
+
+TEST(Logging, FormatStringSubstitutesArguments)
+{
+    EXPECT_EQ(detail::formatString("plain"), "plain");
+    EXPECT_EQ(detail::formatString("a=%d b=%s", 7, "x"), "a=7 b=x");
+    EXPECT_EQ(detail::formatString("%zu items", std::size_t{3}),
+              "3 items");
+    EXPECT_EQ(detail::formatString("100%%"), "100%");
+}
+
+TEST(Logging, FormatStringHandlesExtraTextAfterConversions)
+{
+    EXPECT_EQ(detail::formatString("x=%d!", 1), "x=1!");
+    EXPECT_EQ(detail::formatString("%f us", 2.5), "2.5 us");
+}
+
+TEST(Logging, InformToggle)
+{
+    setInformEnabled(false);
+    EXPECT_FALSE(informEnabled());
+    setInformEnabled(true);
+    EXPECT_TRUE(informEnabled());
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 1), "boom 1");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LoggingDeath, PanicIfOnlyFiresOnTrue)
+{
+    panic_if(false, "never");
+    EXPECT_DEATH(panic_if(true, "yes"), "yes");
+}
+
+} // namespace
+} // namespace preempt

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests for the real host runtime: fcontext switching, the stack pool,
+ * preemptible functions with actual signal-delivered preemption, and
+ * LibUtimer.
+ *
+ * Timing assertions are deliberately loose: this host may have a
+ * single CPU shared with the timer thread, so quanta are milliseconds
+ * and deadlines are checked within generous bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include <cerrno>
+
+#include "preemptible/fcontext.hh"
+#include "preemptible/hosttime.hh"
+#include "preemptible/preemptible_fn.hh"
+#include "preemptible/stack_pool.hh"
+#include "preemptible/utimer.hh"
+
+namespace preempt::runtime {
+namespace {
+
+using fcontext::preempt_jump_fcontext;
+using fcontext::preempt_make_fcontext;
+
+// ----- fcontext ------------------------------------------------------
+
+int g_entry_hits = 0;
+
+void
+simpleEntry(fcontext::Transfer t)
+{
+    ++g_entry_hits;
+    // Pass a recognizable value back.
+    fcontext::Transfer r = preempt_jump_fcontext(
+        t.fctx, reinterpret_cast<void *>(0x1234));
+    ++g_entry_hits;
+    preempt_jump_fcontext(r.fctx, reinterpret_cast<void *>(0x5678));
+    FAIL() << "context resumed after final jump";
+}
+
+TEST(Fcontext, FastImplementationAvailable)
+{
+    EXPECT_TRUE(fcontext::haveFastContext());
+}
+
+TEST(Fcontext, SymmetricSwitchRoundtrip)
+{
+    StackPool pool(64 * 1024);
+    Stack stack = pool.acquire();
+    g_entry_hits = 0;
+    fcontext::Context ctx =
+        preempt_make_fcontext(stack.top(), stack.usable(), &simpleEntry);
+
+    fcontext::Transfer t = preempt_jump_fcontext(ctx, nullptr);
+    EXPECT_EQ(g_entry_hits, 1);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data), 0x1234u);
+
+    t = preempt_jump_fcontext(t.fctx, nullptr);
+    EXPECT_EQ(g_entry_hits, 2);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data), 0x5678u);
+    pool.release(stack);
+}
+
+void
+counterEntry(fcontext::Transfer t)
+{
+    // Stress callee-saved registers across many switches.
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    fcontext::Context back = t.fctx;
+    for (;;) {
+        a += b;
+        b += c;
+        c += d;
+        d += a;
+        fcontext::Transfer r = preempt_jump_fcontext(
+            back, reinterpret_cast<void *>(a ^ b ^ c ^ d));
+        back = r.fctx;
+    }
+}
+
+TEST(Fcontext, RegistersSurviveManySwitches)
+{
+    StackPool pool(64 * 1024);
+    Stack stack = pool.acquire();
+    fcontext::Context ctx =
+        preempt_make_fcontext(stack.top(), stack.usable(), &counterEntry);
+
+    // Reference run of the same recurrence.
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    fcontext::Context cur = ctx;
+    for (int i = 0; i < 1000; ++i) {
+        a += b;
+        b += c;
+        c += d;
+        d += a;
+        fcontext::Transfer t = preempt_jump_fcontext(cur, nullptr);
+        ASSERT_EQ(reinterpret_cast<std::uint64_t>(t.data), a ^ b ^ c ^ d);
+        cur = t.fctx;
+    }
+    pool.release(stack);
+}
+
+// ----- stack pool ------------------------------------------------------
+
+TEST(StackPool, AcquireProvidesUsableMemory)
+{
+    StackPool pool(32 * 1024);
+    Stack s = pool.acquire();
+    ASSERT_TRUE(s.valid());
+    EXPECT_GE(s.usable(), 32u * 1024);
+    // Touch the whole usable range (the guard page is below it).
+    char *base = static_cast<char *>(s.top()) - s.usable();
+    for (std::size_t i = 0; i < s.usable(); i += 512)
+        base[i] = static_cast<char>(i);
+    pool.release(s);
+}
+
+TEST(StackPool, RecyclesStacks)
+{
+    StackPool pool(16 * 1024);
+    Stack a = pool.acquire();
+    void *top = a.top();
+    pool.release(a);
+    EXPECT_EQ(pool.freeCount(), 1u);
+    Stack b = pool.acquire();
+    EXPECT_EQ(b.top(), top) << "freed stack should be reused";
+    EXPECT_EQ(pool.freeCount(), 0u);
+    EXPECT_EQ(pool.totalAllocated(), 1u);
+    pool.release(b);
+}
+
+TEST(StackPool, DistinctStacksDoNotOverlap)
+{
+    StackPool pool(16 * 1024);
+    Stack a = pool.acquire();
+    Stack b = pool.acquire();
+    EXPECT_NE(a.top(), b.top());
+    pool.release(a);
+    pool.release(b);
+}
+
+// ----- real preemptible functions -------------------------------------
+
+/** Shared timer for every test in this binary. */
+UTimer &
+testTimer()
+{
+    static UTimer timer;
+    static bool inited = false;
+    if (!inited) {
+        UTimer::Options opt;
+        opt.idleSleep = usToNs(200);
+        timer.init(opt);
+        inited = true;
+    }
+    return timer;
+}
+
+struct WorkerGuard
+{
+    WorkerGuard()
+    {
+        if (!currentWorker())
+            workerInit(testTimer());
+    }
+};
+
+TEST(PreemptibleFn, CompletesShortFunction)
+{
+    WorkerGuard guard;
+    int x = 0;
+    PreemptibleFn fn([&] { x = 7; });
+    EXPECT_EQ(fn.state(), FnState::Fresh);
+    FnStatus s = fn_launch(fn, msToNs(100));
+    EXPECT_EQ(s, FnStatus::Completed);
+    EXPECT_EQ(x, 7);
+    EXPECT_TRUE(fn_completed(fn));
+    EXPECT_EQ(fn.preemptions(), 0);
+}
+
+TEST(PreemptibleFn, PreemptsSpinLoop)
+{
+    WorkerGuard guard;
+    std::atomic<bool> stop{false};
+    PreemptibleFn fn([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+        }
+    });
+    TimeNs t0 = hostNowNs();
+    FnStatus s = fn_launch(fn, msToNs(5));
+    TimeNs elapsed = hostNowNs() - t0;
+    EXPECT_EQ(s, FnStatus::Preempted);
+    EXPECT_EQ(fn.state(), FnState::Preempted);
+    EXPECT_EQ(fn.preemptions(), 1);
+    // Preemption happened: the spin loop did not run forever, and the
+    // slice is within a loose multiple of the deadline.
+    EXPECT_LT(elapsed, msToNs(2000));
+
+    // Resume and let it finish.
+    stop.store(true);
+    EXPECT_EQ(fn_resume(fn, msToNs(100)), FnStatus::Completed);
+    EXPECT_TRUE(fn_completed(fn));
+}
+
+TEST(PreemptibleFn, SurvivesManyPreemptions)
+{
+    WorkerGuard guard;
+    std::atomic<bool> stop{false};
+    // Local state must survive repeated preempt/resume cycles.
+    std::uint64_t iterations = 0;
+    PreemptibleFn fn([&] {
+        std::uint64_t local = 0;
+        while (!stop.load(std::memory_order_relaxed))
+            iterations = ++local;
+    });
+    FnStatus s = fn_launch(fn, msToNs(2));
+    int rounds = 1;
+    while (s == FnStatus::Preempted && rounds < 6) {
+        s = fn_resume(fn, msToNs(2));
+        ++rounds;
+        if (rounds == 5)
+            stop.store(true);
+    }
+    if (s != FnStatus::Completed)
+        s = fn_resume(fn, msToNs(500));
+    EXPECT_EQ(s, FnStatus::Completed);
+    EXPECT_GT(iterations, 0u);
+    EXPECT_GE(fn.preemptions(), 2);
+}
+
+TEST(PreemptibleFn, YieldReturnsControl)
+{
+    WorkerGuard guard;
+    int stage = 0;
+    PreemptibleFn fn([&] {
+        stage = 1;
+        fn_yield();
+        stage = 2;
+        fn_yield();
+        stage = 3;
+    });
+    EXPECT_EQ(fn_launch(fn, 0), FnStatus::Yielded);
+    EXPECT_EQ(stage, 1);
+    EXPECT_EQ(fn_resume(fn, 0), FnStatus::Yielded);
+    EXPECT_EQ(stage, 2);
+    EXPECT_EQ(fn_resume(fn, 0), FnStatus::Completed);
+    EXPECT_EQ(stage, 3);
+}
+
+TEST(PreemptibleFn, ResetReusesObject)
+{
+    WorkerGuard guard;
+    int first = 0, second = 0;
+    PreemptibleFn fn([&] { first = 1; });
+    fn_launch(fn, 0);
+    EXPECT_TRUE(fn_completed(fn));
+    fn.reset([&] { second = 2; });
+    EXPECT_EQ(fn.state(), FnState::Fresh);
+    EXPECT_EQ(fn_launch(fn, 0), FnStatus::Completed);
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 2);
+}
+
+TEST(PreemptibleFn, StackRecycledAfterCompletion)
+{
+    WorkerGuard guard;
+    std::size_t free_before = fnStackPool().freeCount();
+    {
+        PreemptibleFn fn([] {});
+        fn_launch(fn, 0);
+    }
+    // The completed function returned its stack to the pool.
+    EXPECT_GE(fnStackPool().freeCount(), free_before);
+}
+
+TEST(PreemptibleFn, MigratesAcrossWorkerThreads)
+{
+    WorkerGuard guard;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> progress{0};
+    PreemptibleFn fn([&] {
+        while (!stop.load(std::memory_order_relaxed))
+            progress.fetch_add(1, std::memory_order_relaxed);
+    });
+    // Preempt on this thread...
+    ASSERT_EQ(fn_launch(fn, msToNs(3)), FnStatus::Preempted);
+    std::uint64_t p1 = progress.load();
+
+    // ...resume on a different worker thread.
+    FnStatus final_status = FnStatus::Preempted;
+    std::thread other([&] {
+        workerInit(testTimer());
+        FnStatus s = fn_resume(fn, msToNs(3));
+        while (s == FnStatus::Preempted) {
+            stop.store(true);
+            s = fn_resume(fn, msToNs(200));
+        }
+        stop.store(true);
+        final_status = s;
+        workerShutdown();
+    });
+    other.join();
+    EXPECT_EQ(final_status, FnStatus::Completed);
+    EXPECT_GT(progress.load(), p1);
+}
+
+TEST(PreemptibleFn, WorkerStatsAccumulate)
+{
+    WorkerGuard guard;
+    WorkerContext *w = currentWorker();
+    ASSERT_NE(w, nullptr);
+    std::uint64_t completions_before = w->completions;
+    PreemptibleFn fn([] {});
+    fn_launch(fn, 0);
+    EXPECT_EQ(w->completions, completions_before + 1);
+}
+
+// ----- LibUtimer (real) -------------------------------------------------
+
+TEST(UTimerReal, FiresArmedDeadline)
+{
+    UTimer &timer = testTimer();
+    // SIGURG's default action is ignore, so a bare slot (no worker
+    // context) can absorb the notification safely.
+    DeadlineSlot *slot = timer.registerThread();
+    std::uint64_t fires_before = slot->fires.load();
+    UTimer::armDeadline(slot, hostNowNs() + msToNs(2));
+    TimeNs deadline_wait = hostNowNs() + secToNs(5);
+    while (slot->fires.load() == fires_before && hostNowNs() < deadline_wait)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(slot->fires.load(), fires_before + 1);
+    // The claimed deadline resets to never (fires exactly once).
+    EXPECT_EQ(slot->deadline.load(), kTimeNever);
+    timer.unregisterThread(slot);
+}
+
+TEST(UTimerReal, DisarmPreventsFire)
+{
+    UTimer &timer = testTimer();
+    DeadlineSlot *slot = timer.registerThread();
+    std::uint64_t fires_before = slot->fires.load();
+    UTimer::armDeadline(slot, hostNowNs() + msToNs(50));
+    UTimer::disarm(slot);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    EXPECT_EQ(slot->fires.load(), fires_before);
+    timer.unregisterThread(slot);
+}
+
+TEST(UTimerReal, SlotsAreCacheLineAligned)
+{
+    UTimer &timer = testTimer();
+    DeadlineSlot *slot = timer.registerThread();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(slot) % 64, 0u);
+    timer.unregisterThread(slot);
+}
+
+TEST(UTimerReal, SlotsRecycleAfterUnregister)
+{
+    UTimer &timer = testTimer();
+    DeadlineSlot *a = timer.registerThread();
+    timer.unregisterThread(a);
+    DeadlineSlot *b = timer.registerThread();
+    EXPECT_EQ(a, b);
+    timer.unregisterThread(b);
+}
+
+TEST(PreemptibleFn, CancelDiscardsPreemptedFunction)
+{
+    WorkerGuard guard;
+    std::atomic<bool> stop{false};
+    std::size_t free_before = fnStackPool().freeCount();
+    PreemptibleFn fn([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+        }
+    });
+    ASSERT_EQ(fn_launch(fn, msToNs(3)), FnStatus::Preempted);
+    fn_cancel(fn);
+    EXPECT_EQ(fn.state(), FnState::Cancelled);
+    // The stack returned to the pool despite the abandoned frames.
+    EXPECT_GT(fnStackPool().freeCount() + 1, free_before);
+    // A cancelled function can be rebound and reused.
+    int ran = 0;
+    fn.reset([&] { ran = 1; });
+    EXPECT_EQ(fn_launch(fn, 0), FnStatus::Completed);
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(PreemptibleFn, CancelRequiresPreempted)
+{
+    WorkerGuard guard;
+    PreemptibleFn fn([] {});
+    fn_launch(fn, 0);
+    ASSERT_TRUE(fn_completed(fn));
+    EXPECT_EXIT(fn_cancel(fn), testing::ExitedWithCode(1),
+                "requires a Preempted");
+}
+
+TEST(PreemptibleFn, ErrnoSurvivesPreemption)
+{
+    WorkerGuard guard;
+    std::atomic<bool> stop{false};
+    bool errno_ok = true;
+    PreemptibleFn fn([&] {
+        errno = 1234;
+        // Spin long enough to guarantee at least one preemption.
+        while (!stop.load(std::memory_order_relaxed)) {
+            if (errno != 1234)
+                errno_ok = false;
+        }
+    });
+    FnStatus s = fn_launch(fn, msToNs(3));
+    EXPECT_EQ(s, FnStatus::Preempted);
+    stop.store(true);
+    while (s == FnStatus::Preempted)
+        s = fn_resume(fn, msToNs(100));
+    EXPECT_EQ(s, FnStatus::Completed);
+    EXPECT_TRUE(errno_ok) << "errno was clobbered across a preemption";
+}
+
+TEST(UTimerReal, ScansProgress)
+{
+    UTimer &timer = testTimer();
+    std::uint64_t s0 = timer.scans();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GT(timer.scans(), s0);
+}
+
+} // namespace
+} // namespace preempt::runtime

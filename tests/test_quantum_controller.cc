@@ -1,0 +1,160 @@
+/** @file Tests for the Algorithm 1 adaptive time-quantum controller. */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/quantum_controller.hh"
+
+namespace preempt::core {
+namespace {
+
+QuantumControllerParams
+params()
+{
+    QuantumControllerParams p;
+    p.k1 = usToNs(5);
+    p.k2 = usToNs(3);
+    p.k3 = usToNs(5);
+    p.tMin = usToNs(3);
+    p.tMax = usToNs(100);
+    p.queueThreshold = 32;
+    return p;
+}
+
+ControlInputs
+calmInputs()
+{
+    ControlInputs in;
+    in.loadRps = 0.5e6;
+    in.maxLoadRps = 1e6;
+    in.maxQueueLen = 0;
+    in.tailIndex = std::numeric_limits<double>::infinity();
+    return in;
+}
+
+TEST(Controller, HighLoadShrinksByK1)
+{
+    QuantumController c(params(), usToNs(50));
+    ControlInputs in = calmInputs();
+    in.loadRps = 0.95e6; // above L_high = 0.9
+    EXPECT_EQ(c.step(in), usToNs(45));
+    EXPECT_EQ(c.shrinks(), 1u);
+}
+
+TEST(Controller, HeavyTailShrinksByK2)
+{
+    QuantumController c(params(), usToNs(50));
+    ControlInputs in = calmInputs();
+    in.tailIndex = 1.3; // alpha < 2: heavy tail
+    EXPECT_EQ(c.step(in), usToNs(47));
+}
+
+TEST(Controller, LongQueuesShrinkByK2)
+{
+    QuantumController c(params(), usToNs(50));
+    ControlInputs in = calmInputs();
+    in.maxQueueLen = 100; // above Q_threshold
+    EXPECT_EQ(c.step(in), usToNs(47));
+}
+
+TEST(Controller, LowLoadGrowsByK3)
+{
+    QuantumController c(params(), usToNs(50));
+    ControlInputs in = calmInputs();
+    in.loadRps = 0.05e6; // below L_low = 0.1
+    EXPECT_EQ(c.step(in), usToNs(55));
+    EXPECT_EQ(c.grows(), 1u);
+}
+
+TEST(Controller, MidLoadLightTailHoldsSteady)
+{
+    QuantumController c(params(), usToNs(50));
+    EXPECT_EQ(c.step(calmInputs()), usToNs(50));
+    EXPECT_EQ(c.shrinks(), 0u);
+    EXPECT_EQ(c.grows(), 0u);
+}
+
+TEST(Controller, ClampsAtTMin)
+{
+    QuantumController c(params(), usToNs(5));
+    ControlInputs in = calmInputs();
+    in.loadRps = 0.99e6;
+    in.tailIndex = 0.5;
+    // Repeated pressure can never go below T_min.
+    for (int i = 0; i < 10; ++i)
+        c.step(in);
+    EXPECT_EQ(c.quantum(), params().tMin);
+}
+
+TEST(Controller, ClampsAtTMax)
+{
+    QuantumController c(params(), usToNs(98));
+    ControlInputs in = calmInputs();
+    in.loadRps = 0.01e6;
+    for (int i = 0; i < 10; ++i)
+        c.step(in);
+    EXPECT_EQ(c.quantum(), params().tMax);
+}
+
+TEST(Controller, BothTriggersStack)
+{
+    QuantumController c(params(), usToNs(50));
+    ControlInputs in = calmInputs();
+    in.loadRps = 0.95e6; // -k1
+    in.tailIndex = 1.0;  // -k2
+    EXPECT_EQ(c.step(in), usToNs(42));
+}
+
+TEST(Controller, InitialQuantumClamped)
+{
+    QuantumController c(params(), usToNs(1000));
+    EXPECT_EQ(c.quantum(), params().tMax);
+    QuantumController c2(params(), usToNs(1));
+    EXPECT_EQ(c2.quantum(), params().tMin);
+}
+
+TEST(Controller, UnknownCapacitySkipsLoadRules)
+{
+    QuantumController c(params(), usToNs(50));
+    ControlInputs in = calmInputs();
+    in.maxLoadRps = 0; // capacity unknown
+    in.loadRps = 1e9;
+    EXPECT_EQ(c.step(in), usToNs(50));
+}
+
+TEST(ControllerDeath, InvalidBoundsFatal)
+{
+    QuantumControllerParams p = params();
+    p.tMin = usToNs(200); // tMin > tMax
+    EXPECT_EXIT(QuantumController(p, usToNs(50)),
+                testing::ExitedWithCode(1), "tMin");
+}
+
+// Property: from any start, under sustained heavy-tail pressure the
+// controller converges to T_min within a bounded number of periods.
+class ControllerConvergence : public testing::TestWithParam<TimeNs>
+{
+};
+
+TEST_P(ControllerConvergence, ConvergesToTMinUnderPressure)
+{
+    QuantumController c(params(), GetParam());
+    ControlInputs in = calmInputs();
+    in.loadRps = 0.95e6;
+    in.tailIndex = 0.8;
+    int steps = 0;
+    while (c.quantum() > params().tMin && steps < 100) {
+        c.step(in);
+        ++steps;
+    }
+    EXPECT_EQ(c.quantum(), params().tMin);
+    EXPECT_LE(steps, 15);
+}
+
+INSTANTIATE_TEST_SUITE_P(StartingQuanta, ControllerConvergence,
+                         testing::Values(usToNs(3), usToNs(10), usToNs(50),
+                                         usToNs(100)));
+
+} // namespace
+} // namespace preempt::core

@@ -1,0 +1,122 @@
+/** @file Unit tests for the PCG32 RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace preempt {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, DifferentStreamsDiffer)
+{
+    Rng a(1, 10), b(1, 11);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0;
+    for (int i = 0; i < 100000; ++i) {
+        double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform(5.0, 6.5);
+        ASSERT_GE(v, 5.0);
+        ASSERT_LT(v, 6.5);
+    }
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(11);
+    for (std::uint32_t bound : {1u, 2u, 3u, 7u, 100u, 1u << 20}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowZeroBoundIsZero)
+{
+    Rng r(13);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng r(17);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(21);
+    Rng child = parent.fork(1);
+    Rng parent2(21);
+    Rng child2 = parent2.fork(1);
+    // Fork is deterministic...
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child.next(), child2.next());
+    // ...and differs from the parent stream.
+    Rng parent3(21);
+    Rng child3 = parent3.fork(1);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent3.next() == child3.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, Next64UsesFullWidth)
+{
+    Rng r(23);
+    bool high_bits_seen = false;
+    for (int i = 0; i < 100; ++i) {
+        if (r.next64() >> 32)
+            high_bits_seen = true;
+    }
+    EXPECT_TRUE(high_bits_seen);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Rng::min() == 0);
+    static_assert(Rng::max() == 0xffffffffu);
+    Rng r(1);
+    EXPECT_GE(r(), Rng::min());
+}
+
+} // namespace
+} // namespace preempt

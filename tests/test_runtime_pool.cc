@@ -1,0 +1,159 @@
+/** @file Tests for the PreemptibleRuntime worker pool (real threads). */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "preemptible/hosttime.hh"
+#include "preemptible/runtime.hh"
+
+namespace preempt::runtime {
+namespace {
+
+PreemptibleRuntime::Options
+fastOptions(int workers = 2)
+{
+    PreemptibleRuntime::Options opt;
+    opt.nWorkers = workers;
+    opt.quantum = msToNs(2);
+    opt.timer.idleSleep = usToNs(200);
+    opt.idleNap = usToNs(50);
+    return opt;
+}
+
+void
+spinFor(TimeNs dur)
+{
+    TimeNs end = hostNowNs() + dur;
+    while (hostNowNs() < end) {
+    }
+}
+
+TEST(Runtime, RunsSubmittedTasks)
+{
+    PreemptibleRuntime rt(fastOptions());
+    std::atomic<int> sum{0};
+    for (int i = 0; i < 500; ++i)
+        ASSERT_TRUE(rt.submit([&] { sum.fetch_add(1); }));
+    rt.quiesce();
+    EXPECT_EQ(sum.load(), 500);
+    auto s = rt.stats();
+    EXPECT_EQ(s.submitted, 500u);
+    EXPECT_EQ(s.completed, 500u);
+    EXPECT_EQ(s.lcLatency.count(), 500u);
+    rt.shutdown();
+}
+
+TEST(Runtime, PreemptsLongTasks)
+{
+    PreemptibleRuntime rt(fastOptions(2));
+    std::atomic<int> done{0};
+    // Long spinners several quanta in length.
+    for (int i = 0; i < 3; ++i) {
+        rt.submit([&] {
+            spinFor(msToNs(12));
+            done.fetch_add(1);
+        }, 1);
+    }
+    // Short LC tasks keep flowing past them.
+    for (int i = 0; i < 100; ++i)
+        rt.submit([&] { done.fetch_add(1); }, 0);
+    rt.quiesce();
+    EXPECT_EQ(done.load(), 103);
+    auto s = rt.stats();
+    EXPECT_GT(s.preemptions, 0u);
+    EXPECT_EQ(s.beLatency.count(), 3u);
+    EXPECT_EQ(s.lcLatency.count(), 100u);
+    rt.shutdown();
+}
+
+TEST(Runtime, PreemptionProtectsShortTaskLatency)
+{
+    // With preemption, short tasks submitted behind a long spinner
+    // complete long before the spinner finishes.
+    PreemptibleRuntime rt(fastOptions(1));
+    std::atomic<bool> long_done{false};
+    rt.submit([&] {
+        spinFor(msToNs(40));
+        long_done.store(true);
+    }, 1);
+    // Give the long task a moment to start.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::atomic<bool> short_done{false};
+    rt.submit([&] { short_done.store(true); }, 0);
+
+    TimeNs wait_end = hostNowNs() + secToNs(10);
+    while (!short_done.load() && hostNowNs() < wait_end)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    EXPECT_TRUE(short_done.load());
+    // The short task must not have waited for the full spinner.
+    EXPECT_FALSE(long_done.load())
+        << "short task was stuck behind the long one";
+    rt.quiesce();
+    rt.shutdown();
+}
+
+TEST(Runtime, QuantumCanChangeAtRuntime)
+{
+    PreemptibleRuntime rt(fastOptions());
+    EXPECT_EQ(rt.quantum(), msToNs(2));
+    rt.setQuantum(msToNs(8));
+    EXPECT_EQ(rt.quantum(), msToNs(8));
+    rt.submit([] {});
+    rt.quiesce();
+    rt.shutdown();
+}
+
+TEST(Runtime, ThroughputPositive)
+{
+    PreemptibleRuntime rt(fastOptions());
+    for (int i = 0; i < 100; ++i)
+        rt.submit([] {});
+    rt.quiesce();
+    EXPECT_GT(rt.throughputRps(), 0.0);
+    rt.shutdown();
+}
+
+TEST(Runtime, ShutdownDrainsInFlight)
+{
+    auto rt = std::make_unique<PreemptibleRuntime>(fastOptions());
+    std::atomic<int> done{0};
+    for (int i = 0; i < 50; ++i)
+        rt->submit([&] { done.fetch_add(1); });
+    rt->shutdown(); // waits for workers to finish queued tasks
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(Runtime, BackpressureWhenQueueFull)
+{
+    PreemptibleRuntime::Options opt = fastOptions(1);
+    opt.queueCapacity = 8;
+    PreemptibleRuntime rt(opt);
+    // A blocker occupies the worker while we overfill its queue.
+    std::atomic<bool> release{false};
+    rt.submit([&] {
+        while (!release.load())
+            spinFor(usToNs(100));
+    });
+    int accepted = 0;
+    for (int i = 0; i < 64; ++i)
+        accepted += rt.submit([] {}) ? 1 : 0;
+    EXPECT_LT(accepted, 64) << "full ring must apply backpressure";
+    release.store(true);
+    rt.quiesce();
+    rt.shutdown();
+}
+
+TEST(Runtime, TimerDeliveredPreemptions)
+{
+    PreemptibleRuntime rt(fastOptions(1));
+    rt.submit([] { spinFor(msToNs(10)); });
+    rt.quiesce();
+    EXPECT_GT(rt.timer().firesTotal(), 0u);
+    rt.shutdown();
+}
+
+} // namespace
+} // namespace preempt::runtime

@@ -1,0 +1,129 @@
+/** @file Tests for streaming stats, Hill estimator, request window. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/dist.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace preempt {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic dataset is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, EmptyAndSingle)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(42);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, ResetForgets)
+{
+    RunningStats s;
+    s.add(1);
+    s.add(2);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.add(10);
+    EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(HillEstimator, RecoversParetoAlpha)
+{
+    Rng rng(1);
+    for (double alpha : {1.2, 1.8, 2.5}) {
+        ParetoDist d(1.0, alpha);
+        std::vector<double> samples;
+        for (int i = 0; i < 100000; ++i)
+            samples.push_back(d.sample(rng));
+        double est = hillTailIndex(samples);
+        EXPECT_NEAR(est, alpha, alpha * 0.15) << "alpha=" << alpha;
+    }
+}
+
+TEST(HillEstimator, LightTailGivesLargeAlpha)
+{
+    Rng rng(2);
+    ExponentialDist d(1000.0);
+    std::vector<double> samples;
+    for (int i = 0; i < 100000; ++i)
+        samples.push_back(d.sample(rng));
+    // Exponential has all moments: the index is far above the
+    // heavy-tail boundary of 2.
+    EXPECT_GT(hillTailIndex(samples), 2.0);
+}
+
+TEST(HillEstimator, TooFewSamplesIsInfinite)
+{
+    std::vector<double> tiny{1.0, 2.0, 3.0};
+    EXPECT_TRUE(std::isinf(hillTailIndex(tiny)));
+}
+
+TEST(RequestWindow, ExpiresOldRecords)
+{
+    RequestStatsWindow w(usToNs(100));
+    w.onCompletion(usToNs(10), usToNs(5), usToNs(5));
+    w.onCompletion(usToNs(50), usToNs(5), usToNs(5));
+    EXPECT_EQ(w.size(), 2u);
+    w.onCompletion(usToNs(140), usToNs(5), usToNs(5));
+    // The record at 10 us is now older than the horizon.
+    EXPECT_EQ(w.size(), 2u);
+    w.expire(usToNs(1000));
+    EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(RequestWindow, ThroughputOverWindow)
+{
+    RequestStatsWindow w(secToNs(1));
+    for (int i = 0; i < 1000; ++i)
+        w.onCompletion(msToNs(i), usToNs(10), usToNs(10));
+    // 1000 completions over the retained 1 s window.
+    EXPECT_NEAR(w.throughputRps(msToNs(999)), 1000.0, 15.0);
+}
+
+TEST(RequestWindow, MedianAndTailLatency)
+{
+    RequestStatsWindow w(secToNs(10));
+    for (int i = 1; i <= 100; ++i)
+        w.onCompletion(usToNs(i), usToNs(i), usToNs(1));
+    EXPECT_NEAR(static_cast<double>(w.medianLatency()),
+                static_cast<double>(usToNs(50)),
+                static_cast<double>(usToNs(2)));
+    EXPECT_GE(w.tailLatency(), usToNs(98));
+}
+
+TEST(RequestWindow, MeanService)
+{
+    RequestStatsWindow w(secToNs(10));
+    w.onCompletion(1, 1, usToNs(10));
+    w.onCompletion(2, 1, usToNs(30));
+    EXPECT_NEAR(w.meanServiceNs(), static_cast<double>(usToNs(20)), 1.0);
+}
+
+TEST(RequestWindow, EmptyWindowDefaults)
+{
+    RequestStatsWindow w;
+    EXPECT_EQ(w.medianLatency(), 0u);
+    EXPECT_EQ(w.tailLatency(), 0u);
+    EXPECT_DOUBLE_EQ(w.throughputRps(secToNs(1)), 0.0);
+    EXPECT_TRUE(std::isinf(w.tailIndex()));
+}
+
+} // namespace
+} // namespace preempt

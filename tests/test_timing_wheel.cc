@@ -1,0 +1,155 @@
+/** @file Tests for the hierarchical timing wheel. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/timing_wheel.hh"
+
+namespace preempt::core {
+namespace {
+
+TEST(TimingWheel, FiresAtDeadlineWithinOneTick)
+{
+    TimingWheel wheel(100);
+    std::vector<TimeNs> fired;
+    wheel.schedule(1000, 7);
+    wheel.advance(900, [&](std::uint64_t, TimeNs) { FAIL(); });
+    wheel.advance(1100, [&](std::uint64_t cookie, TimeNs when) {
+        EXPECT_EQ(cookie, 7u);
+        EXPECT_EQ(when, 1000u);
+        fired.push_back(when);
+    });
+    EXPECT_EQ(fired.size(), 1u);
+    EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimingWheel, FiresInDeadlineOrder)
+{
+    TimingWheel wheel(10);
+    std::vector<std::uint64_t> order;
+    wheel.schedule(500, 3);
+    wheel.schedule(100, 1);
+    wheel.schedule(300, 2);
+    wheel.advance(1000,
+                  [&](std::uint64_t c, TimeNs) { order.push_back(c); });
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(TimingWheel, CancelPreventsFire)
+{
+    TimingWheel wheel(10);
+    auto id = wheel.schedule(100, 1);
+    EXPECT_EQ(wheel.size(), 1u);
+    EXPECT_TRUE(wheel.cancel(id));
+    EXPECT_EQ(wheel.size(), 0u);
+    EXPECT_FALSE(wheel.cancel(id)) << "double cancel";
+    wheel.advance(1000, [](std::uint64_t, TimeNs) { FAIL(); });
+}
+
+TEST(TimingWheel, CancelUnknownIdIsFalse)
+{
+    TimingWheel wheel(10);
+    EXPECT_FALSE(wheel.cancel(0));
+    EXPECT_FALSE(wheel.cancel(999));
+}
+
+TEST(TimingWheel, LongDeadlinesCascadeAcrossLevels)
+{
+    TimingWheel wheel(100, 16, 3); // level spans: 1.6k, 25.6k, 409.6k
+    TimeNs far = 200000;
+    bool fired = false;
+    wheel.schedule(far, 1);
+    wheel.advance(far - 1000, [](std::uint64_t, TimeNs) { FAIL(); });
+    wheel.advance(far + 200, [&](std::uint64_t, TimeNs when) {
+        EXPECT_EQ(when, far);
+        fired = true;
+    });
+    EXPECT_TRUE(fired);
+}
+
+TEST(TimingWheel, PastDeadlineFiresOnNextAdvance)
+{
+    TimingWheel wheel(100);
+    wheel.advance(5000, [](std::uint64_t, TimeNs) {});
+    wheel.schedule(10, 1); // already in the past
+    bool fired = false;
+    wheel.advance(5300, [&](std::uint64_t, TimeNs) { fired = true; });
+    EXPECT_TRUE(fired);
+}
+
+TEST(TimingWheelDeath, BackwardsAdvancePanics)
+{
+    TimingWheel wheel(100);
+    wheel.advance(1000, [](std::uint64_t, TimeNs) {});
+    EXPECT_DEATH(wheel.advance(500, [](std::uint64_t, TimeNs) {}),
+                 "backwards");
+}
+
+TEST(TimingWheelDeath, BadConfigFatal)
+{
+    EXPECT_EXIT(TimingWheel(0), testing::ExitedWithCode(1), "tick");
+    EXPECT_EXIT(TimingWheel(10, 100, 2), testing::ExitedWithCode(1),
+                "power of two");
+}
+
+// Property sweep: N random timers all fire exactly once with bounded
+// lateness, across wheel geometries.
+struct WheelGeometry
+{
+    TimeNs tick;
+    std::size_t slots;
+    int levels;
+};
+
+class TimingWheelProperty : public testing::TestWithParam<WheelGeometry>
+{
+};
+
+TEST_P(TimingWheelProperty, NoTimerLostNoneEarlyBoundedLate)
+{
+    const auto &g = GetParam();
+    TimingWheel wheel(g.tick, g.slots, g.levels);
+    Rng rng(42);
+    std::map<std::uint64_t, TimeNs> expect; // cookie -> deadline
+    TimeNs horizon = g.tick * 200000;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        TimeNs when = 1 + rng.next64() % horizon;
+        wheel.schedule(when, i);
+        expect[i] = when;
+    }
+    // A few cancellations.
+    for (std::uint64_t id = 1; id <= 2000; id += 97) {
+        if (wheel.cancel(id))
+            expect.erase(id - 1); // ids are 1-based in schedule order
+    }
+
+    std::map<std::uint64_t, TimeNs> fired;
+    TimeNs step = horizon / 333 + 1;
+    TimeNs now = 0;
+    while (now < horizon + g.tick * 4) {
+        now += step;
+        wheel.advance(now, [&](std::uint64_t cookie, TimeNs when) {
+            EXPECT_EQ(fired.count(cookie), 0u) << "double fire";
+            fired[cookie] = when;
+            // Never early relative to the advance point.
+            EXPECT_LE(when, now);
+        });
+    }
+    EXPECT_EQ(fired.size(), expect.size());
+    for (const auto &[cookie, when] : expect) {
+        ASSERT_TRUE(fired.count(cookie)) << "lost timer " << cookie;
+        EXPECT_EQ(fired[cookie], when);
+    }
+    EXPECT_EQ(wheel.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TimingWheelProperty,
+    testing::Values(WheelGeometry{100, 256, 4}, WheelGeometry{50, 16, 3},
+                    WheelGeometry{1000, 64, 2}, WheelGeometry{10, 8, 5}));
+
+} // namespace
+} // namespace preempt::core

@@ -1,0 +1,129 @@
+/** @file Tests for trace recording/replay. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "workload/generator.hh"
+#include "workload/trace.hh"
+
+namespace preempt::workload {
+namespace {
+
+TEST(Trace, SaveLoadRoundtrip)
+{
+    Trace t;
+    t.add({usToNs(10), usToNs(5), RequestClass::LatencyCritical});
+    t.add({usToNs(3), usToNs(100), RequestClass::BestEffort});
+    t.sort();
+
+    std::stringstream ss;
+    t.save(ss);
+    Trace back = Trace::load(ss);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.entries()[0].arrival, usToNs(3));
+    EXPECT_EQ(back.entries()[0].cls, RequestClass::BestEffort);
+    EXPECT_EQ(back.entries()[1].service, usToNs(5));
+    EXPECT_EQ(back.duration(), usToNs(10));
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# header\n\n100,200\n  # indented comment\n"
+                         "300,400,1\n");
+    Trace t = Trace::load(ss);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.entries()[1].cls, RequestClass::BestEffort);
+}
+
+TEST(Trace, LoadSortsOutOfOrderArrivals)
+{
+    std::stringstream ss("500,10\n100,20\n300,30\n");
+    Trace t = Trace::load(ss);
+    EXPECT_EQ(t.entries()[0].arrival, 100u);
+    EXPECT_EQ(t.entries()[2].arrival, 500u);
+}
+
+TEST(TraceDeath, RejectsZeroService)
+{
+    std::stringstream ss("100,0\n");
+    EXPECT_EXIT(Trace::load(ss), testing::ExitedWithCode(1),
+                "zero service");
+}
+
+TEST(TraceDeath, RejectsBadClass)
+{
+    std::stringstream ss("100,10,7\n");
+    EXPECT_EXIT(Trace::load(ss), testing::ExitedWithCode(1),
+                "class");
+}
+
+TEST(Trace, MeanService)
+{
+    Trace t;
+    t.add({0, 100, RequestClass::LatencyCritical});
+    t.add({1, 300, RequestClass::LatencyCritical});
+    EXPECT_DOUBLE_EQ(t.meanServiceNs(), 200.0);
+}
+
+TEST(TraceReplay, DrivesServerIdenticallyToRecording)
+{
+    // Record a synthetic run, then replay the trace and verify the
+    // server sees identical arrivals and produces identical results.
+    TimeNs duration = msToNs(20);
+    Trace trace;
+    {
+        sim::Simulator sim(11);
+        TraceRecorder recorder;
+        WorkloadSpec spec{makeServiceLaw("A1", duration),
+                          RateLaw::constant(200e3), duration};
+        hw::LatencyConfig cfg;
+        runtime_sim::LibPreemptibleConfig rc;
+        rc.nWorkers = 2;
+        rc.quantum = usToNs(10);
+        runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+        OpenLoopGenerator gen(sim, std::move(spec), [&](Request &r) {
+            recorder.onArrival(r);
+            server.onArrival(r);
+        });
+        gen.start();
+        sim.runAll();
+        trace = recorder.take();
+        EXPECT_EQ(trace.size(), server.metrics().arrived());
+    }
+
+    sim::Simulator sim(12); // different seed: replay must not care
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = 2;
+    rc.quantum = usToNs(10);
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+    TraceReplayGenerator replay(sim, trace, [&](Request &r) {
+        server.onArrival(r);
+    });
+    replay.start();
+    sim.runAll();
+    EXPECT_EQ(server.metrics().arrived(), trace.size());
+    EXPECT_EQ(server.metrics().completed(), trace.size());
+    EXPECT_GT(server.metrics().totalPreemptions(), 0u);
+}
+
+TEST(TraceReplay, RespectsClasses)
+{
+    Trace t;
+    t.add({0, usToNs(1), RequestClass::LatencyCritical});
+    t.add({usToNs(1), usToNs(100), RequestClass::BestEffort});
+    sim::Simulator sim(1);
+    int lc = 0, be = 0;
+    TraceReplayGenerator replay(sim, t, [&](Request &r) {
+        (r.cls == RequestClass::BestEffort ? be : lc) += 1;
+    });
+    replay.start();
+    sim.runAll();
+    EXPECT_EQ(lc, 1);
+    EXPECT_EQ(be, 1);
+}
+
+} // namespace
+} // namespace preempt::workload

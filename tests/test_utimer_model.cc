@@ -1,0 +1,129 @@
+/** @file Tests for the simulated LibUtimer model. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime_sim/utimer_model.hh"
+
+namespace preempt::runtime_sim {
+namespace {
+
+TEST(UTimerModel, PlanFireRespectsPollGrid)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    UTimerModel utimer(sim, cfg, TimerDelivery::Uintr);
+
+    FirePlan plan = utimer.planFire(12345);
+    EXPECT_GE(plan.noticed, plan.deadline);
+    EXPECT_LT(plan.noticed, plan.deadline + cfg.utimerPollInterval);
+    EXPECT_EQ(plan.noticed % cfg.utimerPollInterval, 0u);
+    EXPECT_GT(plan.handlerEntry, plan.noticed);
+    EXPECT_EQ(utimer.fires(), 1u);
+}
+
+TEST(UTimerModel, UintrDeliveryFasterThanSignal)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    UTimerModel fast(sim, cfg, TimerDelivery::Uintr);
+    UTimerModel slow(sim, cfg, TimerDelivery::KernelSignal);
+    double fast_sum = 0, slow_sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        TimeNs d = static_cast<TimeNs>(1000 + i * 100);
+        fast_sum += static_cast<double>(fast.planFire(d).handlerEntry - d);
+        slow_sum += static_cast<double>(slow.planFire(d).handlerEntry - d);
+    }
+    EXPECT_LT(fast_sum * 5, slow_sum);
+}
+
+TEST(UTimerModel, MinQuantumPerDelivery)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    UTimerModel uintr(sim, cfg, TimerDelivery::Uintr);
+    UTimerModel sig(sim, cfg, TimerDelivery::KernelSignal);
+    EXPECT_EQ(uintr.minQuantum(), cfg.utimerMinQuantum);
+    EXPECT_EQ(sig.minQuantum(), cfg.kernelTimerFloor);
+    EXPECT_EQ(uintr.effectiveQuantum(usToNs(1)), cfg.utimerMinQuantum);
+    EXPECT_EQ(uintr.effectiveQuantum(usToNs(50)), usToNs(50));
+}
+
+TEST(UTimerModel, CancelRefundsTimerCost)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    UTimerModel utimer(sim, cfg, TimerDelivery::Uintr);
+    FirePlan plan = utimer.planFire(1000);
+    EXPECT_EQ(utimer.fires(), 1u);
+    TimeNs busy = utimer.timerCoreBusy();
+    EXPECT_GT(busy, 0u);
+    utimer.cancel(plan);
+    EXPECT_EQ(utimer.fires(), 0u);
+    EXPECT_EQ(utimer.timerCoreBusy(), 0u);
+}
+
+TEST(UTimerModel, PeriodicFiresNearInterval)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    UTimerModel utimer(sim, cfg, TimerDelivery::Uintr);
+    int slot = utimer.registerThread();
+    std::vector<TimeNs> fires;
+    utimer.startPeriodic(slot, usToNs(100),
+                         [&](TimeNs t) { fires.push_back(t); });
+    sim.runUntil(msToNs(1));
+    // ~10 fires in 1 ms.
+    ASSERT_GE(fires.size(), 8u);
+    ASSERT_LE(fires.size(), 11u);
+    // Inter-fire gaps near 100 us.
+    for (std::size_t i = 1; i < fires.size(); ++i) {
+        double gap = static_cast<double>(fires[i] - fires[i - 1]);
+        EXPECT_NEAR(gap, static_cast<double>(usToNs(100)),
+                    static_cast<double>(usToNs(10)));
+    }
+}
+
+TEST(UTimerModel, StopPeriodicHalts)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    UTimerModel utimer(sim, cfg, TimerDelivery::Uintr);
+    int slot = utimer.registerThread();
+    int fires = 0;
+    utimer.startPeriodic(slot, usToNs(50), [&](TimeNs) { ++fires; });
+    sim.runUntil(usToNs(220));
+    utimer.stopPeriodic(slot);
+    int at_stop = fires;
+    sim.runUntil(msToNs(2));
+    EXPECT_EQ(fires, at_stop);
+    EXPECT_GE(at_stop, 3);
+}
+
+TEST(UTimerModel, RestartPeriodicInvalidatesOldChain)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    UTimerModel utimer(sim, cfg, TimerDelivery::Uintr);
+    int slot = utimer.registerThread();
+    int first = 0, second = 0;
+    utimer.startPeriodic(slot, usToNs(50), [&](TimeNs) { ++first; });
+    sim.runUntil(usToNs(120));
+    utimer.startPeriodic(slot, usToNs(50), [&](TimeNs) { ++second; });
+    sim.runUntil(usToNs(500));
+    EXPECT_GE(second, 3);
+    EXPECT_LE(first, 3) << "old chain must stop after restart";
+}
+
+TEST(UTimerModelDeath, InvalidSlotFatal)
+{
+    sim::Simulator sim(1);
+    hw::LatencyConfig cfg;
+    UTimerModel utimer(sim, cfg, TimerDelivery::Uintr);
+    EXPECT_EXIT(utimer.startPeriodic(3, 100, [](TimeNs) {}),
+                testing::ExitedWithCode(1), "invalid utimer slot");
+}
+
+} // namespace
+} // namespace preempt::runtime_sim

@@ -1,0 +1,222 @@
+/** @file Tests for workload specs, generator, and load sweep. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/generator.hh"
+#include "workload/loadsweep.hh"
+#include "workload/metrics.hh"
+#include "workload/spec.hh"
+
+namespace preempt::workload {
+namespace {
+
+TEST(ServiceLaw, StationarySampling)
+{
+    Rng rng(1);
+    ServiceLaw law(std::make_shared<ConstantDist>(5000.0));
+    EXPECT_EQ(law.sample(0, rng), 5000u);
+    EXPECT_EQ(law.sample(secToNs(100), rng), 5000u);
+    EXPECT_FALSE(law.dynamic());
+}
+
+TEST(ServiceLaw, PhaseSwitchAtTime)
+{
+    Rng rng(2);
+    ServiceLaw law(std::make_shared<ConstantDist>(100.0),
+                   std::make_shared<ConstantDist>(900.0), usToNs(10),
+                   "switch");
+    EXPECT_EQ(law.sample(usToNs(9), rng), 100u);
+    EXPECT_EQ(law.sample(usToNs(10), rng), 900u);
+    EXPECT_TRUE(law.dynamic());
+    EXPECT_DOUBLE_EQ(law.meanAt(usToNs(9)), 100.0);
+    EXPECT_DOUBLE_EQ(law.meanAt(usToNs(11)), 900.0);
+}
+
+TEST(ServiceLaw, WorkloadCSwitchesHalfway)
+{
+    Rng rng(3);
+    ServiceLaw c = makeServiceLaw("C", secToNs(2));
+    EXPECT_TRUE(c.dynamic());
+    EXPECT_EQ(c.switchTime(), secToNs(1));
+    // First phase is bimodal A1 (values 500 or 500000), second is
+    // exponential.
+    for (int i = 0; i < 100; ++i) {
+        TimeNs v = c.sample(0, rng);
+        EXPECT_TRUE(v == 500 || v == 500000);
+    }
+}
+
+TEST(ServiceLaw, NeverReturnsZeroDemand)
+{
+    Rng rng(4);
+    ServiceLaw law(std::make_shared<ConstantDist>(0.0));
+    EXPECT_EQ(law.sample(0, rng), 1u);
+}
+
+TEST(RateLaw, ConstantRate)
+{
+    RateLaw r = RateLaw::constant(5000);
+    EXPECT_DOUBLE_EQ(r.at(0), 5000.0);
+    EXPECT_DOUBLE_EQ(r.at(secToNs(100)), 5000.0);
+    EXPECT_DOUBLE_EQ(r.peak(), 5000.0);
+}
+
+TEST(RateLaw, BurstySpikesMidPeriod)
+{
+    TimeNs period = msToNs(100);
+    RateLaw r = RateLaw::bursty(40e3, 110e3, period, 0.3);
+    // Spike occupies the middle 30% of each period.
+    EXPECT_DOUBLE_EQ(r.at(0), 40e3);
+    EXPECT_DOUBLE_EQ(r.at(period / 2), 110e3);
+    EXPECT_DOUBLE_EQ(r.at(period - 1), 40e3);
+    // Periodicity.
+    EXPECT_DOUBLE_EQ(r.at(period + period / 2), 110e3);
+    EXPECT_DOUBLE_EQ(r.peak(), 110e3);
+}
+
+TEST(Generator, ArrivalCountTracksRate)
+{
+    sim::Simulator sim(5);
+    std::uint64_t arrivals = 0;
+    WorkloadSpec spec{ServiceLaw(std::make_shared<ConstantDist>(1000.0)),
+                      RateLaw::constant(100e3), msToNs(100)};
+    OpenLoopGenerator gen(sim, std::move(spec),
+                          [&](Request &) { ++arrivals; });
+    gen.start();
+    sim.runAll();
+    // Poisson(10000) over the window: within 5 sigma.
+    EXPECT_NEAR(static_cast<double>(arrivals), 10000.0, 500.0);
+}
+
+TEST(Generator, RequestsInitializedAndStable)
+{
+    sim::Simulator sim(6);
+    std::vector<Request *> seen;
+    WorkloadSpec spec{ServiceLaw(std::make_shared<ConstantDist>(2000.0)),
+                      RateLaw::constant(1e6), usToNs(200)};
+    OpenLoopGenerator gen(sim, std::move(spec),
+                          [&](Request &r) { seen.push_back(&r); });
+    gen.start();
+    sim.runAll();
+    ASSERT_GT(seen.size(), 10u);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        Request &r = *seen[i];
+        EXPECT_EQ(r.id, i);
+        EXPECT_EQ(r.service, 2000u);
+        EXPECT_EQ(r.remaining, 2000u);
+        EXPECT_FALSE(r.done());
+        EXPECT_LT(r.arrival, usToNs(200));
+    }
+    // Pool addresses remain valid/stable.
+    EXPECT_EQ(gen.pool().size(), seen.size());
+}
+
+TEST(Generator, BestEffortFraction)
+{
+    sim::Simulator sim(7);
+    std::uint64_t be = 0, total = 0;
+    WorkloadSpec spec{ServiceLaw(std::make_shared<ConstantDist>(1000.0)),
+                      RateLaw::constant(500e3), msToNs(100)};
+    spec.beFraction = 0.02;
+    spec.beService = std::make_shared<ServiceLaw>(
+        std::make_shared<ConstantDist>(100000.0));
+    OpenLoopGenerator gen(sim, std::move(spec), [&](Request &r) {
+        ++total;
+        if (r.cls == RequestClass::BestEffort) {
+            ++be;
+            EXPECT_EQ(r.service, 100000u);
+        } else {
+            EXPECT_EQ(r.service, 1000u);
+        }
+    });
+    gen.start();
+    sim.runAll();
+    EXPECT_NEAR(static_cast<double>(be) / static_cast<double>(total), 0.02,
+                0.005);
+}
+
+TEST(Generator, ArrivalsStopAtHorizon)
+{
+    sim::Simulator sim(8);
+    TimeNs last = 0;
+    WorkloadSpec spec{ServiceLaw(std::make_shared<ConstantDist>(1000.0)),
+                      RateLaw::constant(1e6), msToNs(10)};
+    OpenLoopGenerator gen(sim, std::move(spec),
+                          [&](Request &r) { last = r.arrival; });
+    gen.start();
+    sim.runAll();
+    EXPECT_LT(last, msToNs(10));
+}
+
+TEST(Metrics, ConservationAndClasses)
+{
+    RunMetrics m;
+    Request lc;
+    lc.cls = RequestClass::LatencyCritical;
+    lc.arrival = 0;
+    lc.service = 100;
+    lc.completion = 1000;
+    Request be;
+    be.cls = RequestClass::BestEffort;
+    be.arrival = 0;
+    be.service = 200;
+    be.completion = 5000;
+    be.preemptions = 3;
+    m.onArrival(lc);
+    m.onArrival(be);
+    m.onCompletion(lc);
+    m.onCompletion(be);
+    EXPECT_EQ(m.arrived(), 2u);
+    EXPECT_EQ(m.completed(), 2u);
+    EXPECT_EQ(m.lcLatency().count(), 1u);
+    EXPECT_EQ(m.beLatency().count(), 1u);
+    EXPECT_EQ(m.totalPreemptions(), 3u);
+    m.addExecution(1000);
+    m.addPreemptionOverhead(100);
+    EXPECT_DOUBLE_EQ(m.overheadRatio(), 0.1);
+    EXPECT_DOUBLE_EQ(m.throughputRps(secToNs(1)), 2.0);
+}
+
+TEST(Request, SlowdownAndLatency)
+{
+    Request r;
+    r.arrival = 100;
+    r.service = 50;
+    EXPECT_EQ(r.latency(), kTimeNever);
+    r.completion = 600;
+    EXPECT_EQ(r.latency(), 500u);
+    EXPECT_DOUBLE_EQ(r.slowdown(), 10.0);
+}
+
+TEST(LoadSweep, PicksLargestGoodLoad)
+{
+    // Synthetic response: p99 explodes past 800 rps.
+    auto run = [](double rps) {
+        SweepPoint p;
+        p.achievedRps = rps;
+        p.p99 = rps <= 800 ? usToNs(50) : msToNs(10);
+        p.p50 = usToNs(5);
+        return p;
+    };
+    SweepResult r = sweepLoad(run, 100, 1000, 10, usToNs(100));
+    EXPECT_NEAR(r.maxGoodRps, 800, 1.0);
+    EXPECT_EQ(r.points.size(), 10u);
+}
+
+TEST(LoadSweep, RejectsLowAchievedThroughput)
+{
+    // Saturated server: achieved stalls at 500 even as offered grows.
+    auto run = [](double rps) {
+        SweepPoint p;
+        p.achievedRps = std::min(rps, 500.0);
+        p.p99 = usToNs(10);
+        return p;
+    };
+    SweepResult r = sweepLoad(run, 100, 1000, 10, usToNs(100));
+    EXPECT_LE(r.maxGoodRps, 600.0);
+}
+
+} // namespace
+} // namespace preempt::workload
