@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cancellation.dir/ablation_cancellation.cpp.o"
+  "CMakeFiles/ablation_cancellation.dir/ablation_cancellation.cpp.o.d"
+  "ablation_cancellation"
+  "ablation_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

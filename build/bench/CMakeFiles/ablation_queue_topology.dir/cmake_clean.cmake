@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_topology.dir/ablation_queue_topology.cpp.o"
+  "CMakeFiles/ablation_queue_topology.dir/ablation_queue_topology.cpp.o.d"
+  "ablation_queue_topology"
+  "ablation_queue_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

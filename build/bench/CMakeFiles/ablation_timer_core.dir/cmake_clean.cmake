@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timer_core.dir/ablation_timer_core.cpp.o"
+  "CMakeFiles/ablation_timer_core.dir/ablation_timer_core.cpp.o.d"
+  "ablation_timer_core"
+  "ablation_timer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

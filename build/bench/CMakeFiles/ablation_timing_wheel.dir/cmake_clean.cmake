@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timing_wheel.dir/ablation_timing_wheel.cpp.o"
+  "CMakeFiles/ablation_timing_wheel.dir/ablation_timing_wheel.cpp.o.d"
+  "ablation_timing_wheel"
+  "ablation_timing_wheel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timing_wheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_work_stealing.dir/ablation_work_stealing.cpp.o"
+  "CMakeFiles/ablation_work_stealing.dir/ablation_work_stealing.cpp.o.d"
+  "ablation_work_stealing"
+  "ablation_work_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_work_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ipc_gap.dir/fig01_ipc_gap.cpp.o"
+  "CMakeFiles/fig01_ipc_gap.dir/fig01_ipc_gap.cpp.o.d"
+  "fig01_ipc_gap"
+  "fig01_ipc_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ipc_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

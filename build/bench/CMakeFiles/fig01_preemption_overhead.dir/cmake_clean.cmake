@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_preemption_overhead.dir/fig01_preemption_overhead.cpp.o"
+  "CMakeFiles/fig01_preemption_overhead.dir/fig01_preemption_overhead.cpp.o.d"
+  "fig01_preemption_overhead"
+  "fig01_preemption_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_preemption_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

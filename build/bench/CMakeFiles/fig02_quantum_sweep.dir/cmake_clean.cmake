@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_quantum_sweep.dir/fig02_quantum_sweep.cpp.o"
+  "CMakeFiles/fig02_quantum_sweep.dir/fig02_quantum_sweep.cpp.o.d"
+  "fig02_quantum_sweep"
+  "fig02_quantum_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_quantum_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

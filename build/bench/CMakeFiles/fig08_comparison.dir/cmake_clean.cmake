@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_comparison.dir/fig08_comparison.cpp.o"
+  "CMakeFiles/fig08_comparison.dir/fig08_comparison.cpp.o.d"
+  "fig08_comparison"
+  "fig08_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_adaptive_slo.dir/fig09_adaptive_slo.cpp.o"
+  "CMakeFiles/fig09_adaptive_slo.dir/fig09_adaptive_slo.cpp.o.d"
+  "fig09_adaptive_slo"
+  "fig09_adaptive_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_adaptive_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

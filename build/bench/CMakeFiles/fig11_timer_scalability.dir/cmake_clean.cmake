@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_timer_scalability.dir/fig11_timer_scalability.cpp.o"
+  "CMakeFiles/fig11_timer_scalability.dir/fig11_timer_scalability.cpp.o.d"
+  "fig11_timer_scalability"
+  "fig11_timer_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_timer_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_timer_precision.dir/fig12_timer_precision.cpp.o"
+  "CMakeFiles/fig12_timer_precision.dir/fig12_timer_precision.cpp.o.d"
+  "fig12_timer_precision"
+  "fig12_timer_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_timer_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_colocation_fixed.dir/fig13_colocation_fixed.cpp.o"
+  "CMakeFiles/fig13_colocation_fixed.dir/fig13_colocation_fixed.cpp.o.d"
+  "fig13_colocation_fixed"
+  "fig13_colocation_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_colocation_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

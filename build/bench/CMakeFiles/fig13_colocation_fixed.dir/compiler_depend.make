@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_colocation_fixed.
+# This may be replaced when dependencies are built.

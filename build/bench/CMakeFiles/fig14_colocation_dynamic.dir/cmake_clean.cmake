@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_colocation_dynamic.dir/fig14_colocation_dynamic.cpp.o"
+  "CMakeFiles/fig14_colocation_dynamic.dir/fig14_colocation_dynamic.cpp.o.d"
+  "fig14_colocation_dynamic"
+  "fig14_colocation_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_colocation_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libpreempt_benchutil.a"
+  "../lib/libpreempt_benchutil.pdb"
+  "CMakeFiles/preempt_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/preempt_benchutil.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

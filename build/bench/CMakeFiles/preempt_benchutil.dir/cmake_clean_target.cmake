@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpreempt_benchutil.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_tenants.dir/scalability_tenants.cpp.o"
+  "CMakeFiles/scalability_tenants.dir/scalability_tenants.cpp.o.d"
+  "scalability_tenants"
+  "scalability_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

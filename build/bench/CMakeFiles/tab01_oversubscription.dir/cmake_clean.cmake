@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_oversubscription.dir/tab01_oversubscription.cpp.o"
+  "CMakeFiles/tab01_oversubscription.dir/tab01_oversubscription.cpp.o.d"
+  "tab01_oversubscription"
+  "tab01_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

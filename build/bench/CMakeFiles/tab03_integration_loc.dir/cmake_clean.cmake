@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_integration_loc.dir/tab03_integration_loc.cpp.o"
+  "CMakeFiles/tab03_integration_loc.dir/tab03_integration_loc.cpp.o.d"
+  "tab03_integration_loc"
+  "tab03_integration_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_integration_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

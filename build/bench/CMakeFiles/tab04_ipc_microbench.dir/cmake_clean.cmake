@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_ipc_microbench.dir/tab04_ipc_microbench.cpp.o"
+  "CMakeFiles/tab04_ipc_microbench.dir/tab04_ipc_microbench.cpp.o.d"
+  "tab04_ipc_microbench"
+  "tab04_ipc_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_ipc_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

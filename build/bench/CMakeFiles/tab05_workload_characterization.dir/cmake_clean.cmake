@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_workload_characterization.dir/tab05_workload_characterization.cpp.o"
+  "CMakeFiles/tab05_workload_characterization.dir/tab05_workload_characterization.cpp.o.d"
+  "tab05_workload_characterization"
+  "tab05_workload_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_workload_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_quantum_sim.dir/adaptive_quantum_sim.cpp.o"
+  "CMakeFiles/adaptive_quantum_sim.dir/adaptive_quantum_sim.cpp.o.d"
+  "adaptive_quantum_sim"
+  "adaptive_quantum_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_quantum_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

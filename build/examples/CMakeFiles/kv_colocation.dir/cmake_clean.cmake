@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_colocation.dir/kv_colocation.cpp.o"
+  "CMakeFiles/kv_colocation.dir/kv_colocation.cpp.o.d"
+  "kv_colocation"
+  "kv_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

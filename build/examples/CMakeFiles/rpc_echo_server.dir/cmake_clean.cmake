@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_echo_server.dir/rpc_echo_server.cpp.o"
+  "CMakeFiles/rpc_echo_server.dir/rpc_echo_server.cpp.o.d"
+  "rpc_echo_server"
+  "rpc_echo_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_echo_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

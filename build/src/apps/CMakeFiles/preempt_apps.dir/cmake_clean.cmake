@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_apps.dir/compressor.cc.o"
+  "CMakeFiles/preempt_apps.dir/compressor.cc.o.d"
+  "CMakeFiles/preempt_apps.dir/kvstore.cc.o"
+  "CMakeFiles/preempt_apps.dir/kvstore.cc.o.d"
+  "CMakeFiles/preempt_apps.dir/rpc_model.cc.o"
+  "CMakeFiles/preempt_apps.dir/rpc_model.cc.o.d"
+  "libpreempt_apps.a"
+  "libpreempt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

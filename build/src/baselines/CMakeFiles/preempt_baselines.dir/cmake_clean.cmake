@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_baselines.dir/libinger_sim.cc.o"
+  "CMakeFiles/preempt_baselines.dir/libinger_sim.cc.o.d"
+  "CMakeFiles/preempt_baselines.dir/oracle_sim.cc.o"
+  "CMakeFiles/preempt_baselines.dir/oracle_sim.cc.o.d"
+  "CMakeFiles/preempt_baselines.dir/shinjuku_sim.cc.o"
+  "CMakeFiles/preempt_baselines.dir/shinjuku_sim.cc.o.d"
+  "libpreempt_baselines.a"
+  "libpreempt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_common.dir/cli.cc.o"
+  "CMakeFiles/preempt_common.dir/cli.cc.o.d"
+  "CMakeFiles/preempt_common.dir/dist.cc.o"
+  "CMakeFiles/preempt_common.dir/dist.cc.o.d"
+  "CMakeFiles/preempt_common.dir/histogram.cc.o"
+  "CMakeFiles/preempt_common.dir/histogram.cc.o.d"
+  "CMakeFiles/preempt_common.dir/logging.cc.o"
+  "CMakeFiles/preempt_common.dir/logging.cc.o.d"
+  "CMakeFiles/preempt_common.dir/stats.cc.o"
+  "CMakeFiles/preempt_common.dir/stats.cc.o.d"
+  "CMakeFiles/preempt_common.dir/table.cc.o"
+  "CMakeFiles/preempt_common.dir/table.cc.o.d"
+  "libpreempt_common.a"
+  "libpreempt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/quantum_controller.cc" "src/core/CMakeFiles/preempt_core.dir/quantum_controller.cc.o" "gcc" "src/core/CMakeFiles/preempt_core.dir/quantum_controller.cc.o.d"
+  "/root/repo/src/core/timing_wheel.cc" "src/core/CMakeFiles/preempt_core.dir/timing_wheel.cc.o" "gcc" "src/core/CMakeFiles/preempt_core.dir/timing_wheel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/preempt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

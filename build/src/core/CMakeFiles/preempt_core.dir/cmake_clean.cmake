@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_core.dir/quantum_controller.cc.o"
+  "CMakeFiles/preempt_core.dir/quantum_controller.cc.o.d"
+  "CMakeFiles/preempt_core.dir/timing_wheel.cc.o"
+  "CMakeFiles/preempt_core.dir/timing_wheel.cc.o.d"
+  "libpreempt_core.a"
+  "libpreempt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/ipc.cc" "src/hw/CMakeFiles/preempt_hw.dir/ipc.cc.o" "gcc" "src/hw/CMakeFiles/preempt_hw.dir/ipc.cc.o.d"
+  "/root/repo/src/hw/kernel.cc" "src/hw/CMakeFiles/preempt_hw.dir/kernel.cc.o" "gcc" "src/hw/CMakeFiles/preempt_hw.dir/kernel.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/preempt_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/preempt_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/posted_ipi.cc" "src/hw/CMakeFiles/preempt_hw.dir/posted_ipi.cc.o" "gcc" "src/hw/CMakeFiles/preempt_hw.dir/posted_ipi.cc.o.d"
+  "/root/repo/src/hw/uintr.cc" "src/hw/CMakeFiles/preempt_hw.dir/uintr.cc.o" "gcc" "src/hw/CMakeFiles/preempt_hw.dir/uintr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/preempt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/preempt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

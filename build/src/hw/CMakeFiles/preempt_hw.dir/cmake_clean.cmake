@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_hw.dir/ipc.cc.o"
+  "CMakeFiles/preempt_hw.dir/ipc.cc.o.d"
+  "CMakeFiles/preempt_hw.dir/kernel.cc.o"
+  "CMakeFiles/preempt_hw.dir/kernel.cc.o.d"
+  "CMakeFiles/preempt_hw.dir/machine.cc.o"
+  "CMakeFiles/preempt_hw.dir/machine.cc.o.d"
+  "CMakeFiles/preempt_hw.dir/posted_ipi.cc.o"
+  "CMakeFiles/preempt_hw.dir/posted_ipi.cc.o.d"
+  "CMakeFiles/preempt_hw.dir/uintr.cc.o"
+  "CMakeFiles/preempt_hw.dir/uintr.cc.o.d"
+  "libpreempt_hw.a"
+  "libpreempt_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpreempt_hw.a"
+)

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/preemptible/fcontext_x86_64.S" "/root/repo/build/src/preemptible/CMakeFiles/preemptible.dir/fcontext_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preemptible/adaptive_driver.cc" "src/preemptible/CMakeFiles/preemptible.dir/adaptive_driver.cc.o" "gcc" "src/preemptible/CMakeFiles/preemptible.dir/adaptive_driver.cc.o.d"
+  "/root/repo/src/preemptible/fcontext.cc" "src/preemptible/CMakeFiles/preemptible.dir/fcontext.cc.o" "gcc" "src/preemptible/CMakeFiles/preemptible.dir/fcontext.cc.o.d"
+  "/root/repo/src/preemptible/preemptible_fn.cc" "src/preemptible/CMakeFiles/preemptible.dir/preemptible_fn.cc.o" "gcc" "src/preemptible/CMakeFiles/preemptible.dir/preemptible_fn.cc.o.d"
+  "/root/repo/src/preemptible/runtime.cc" "src/preemptible/CMakeFiles/preemptible.dir/runtime.cc.o" "gcc" "src/preemptible/CMakeFiles/preemptible.dir/runtime.cc.o.d"
+  "/root/repo/src/preemptible/stack_pool.cc" "src/preemptible/CMakeFiles/preemptible.dir/stack_pool.cc.o" "gcc" "src/preemptible/CMakeFiles/preemptible.dir/stack_pool.cc.o.d"
+  "/root/repo/src/preemptible/uintr_syscalls.cc" "src/preemptible/CMakeFiles/preemptible.dir/uintr_syscalls.cc.o" "gcc" "src/preemptible/CMakeFiles/preemptible.dir/uintr_syscalls.cc.o.d"
+  "/root/repo/src/preemptible/utimer.cc" "src/preemptible/CMakeFiles/preemptible.dir/utimer.cc.o" "gcc" "src/preemptible/CMakeFiles/preemptible.dir/utimer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/preempt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/preempt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemptible.dir/adaptive_driver.cc.o"
+  "CMakeFiles/preemptible.dir/adaptive_driver.cc.o.d"
+  "CMakeFiles/preemptible.dir/fcontext.cc.o"
+  "CMakeFiles/preemptible.dir/fcontext.cc.o.d"
+  "CMakeFiles/preemptible.dir/fcontext_x86_64.S.o"
+  "CMakeFiles/preemptible.dir/preemptible_fn.cc.o"
+  "CMakeFiles/preemptible.dir/preemptible_fn.cc.o.d"
+  "CMakeFiles/preemptible.dir/runtime.cc.o"
+  "CMakeFiles/preemptible.dir/runtime.cc.o.d"
+  "CMakeFiles/preemptible.dir/stack_pool.cc.o"
+  "CMakeFiles/preemptible.dir/stack_pool.cc.o.d"
+  "CMakeFiles/preemptible.dir/uintr_syscalls.cc.o"
+  "CMakeFiles/preemptible.dir/uintr_syscalls.cc.o.d"
+  "CMakeFiles/preemptible.dir/utimer.cc.o"
+  "CMakeFiles/preemptible.dir/utimer.cc.o.d"
+  "libpreemptible.a"
+  "libpreemptible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/preemptible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_runtime_sim.dir/libpreemptible_sim.cc.o"
+  "CMakeFiles/preempt_runtime_sim.dir/libpreemptible_sim.cc.o.d"
+  "CMakeFiles/preempt_runtime_sim.dir/utimer_model.cc.o"
+  "CMakeFiles/preempt_runtime_sim.dir/utimer_model.cc.o.d"
+  "libpreempt_runtime_sim.a"
+  "libpreempt_runtime_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_runtime_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_sim.dir/event_queue.cc.o"
+  "CMakeFiles/preempt_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/preempt_sim.dir/simulator.cc.o"
+  "CMakeFiles/preempt_sim.dir/simulator.cc.o.d"
+  "libpreempt_sim.a"
+  "libpreempt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/preempt_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/preempt_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/loadsweep.cc" "src/workload/CMakeFiles/preempt_workload.dir/loadsweep.cc.o" "gcc" "src/workload/CMakeFiles/preempt_workload.dir/loadsweep.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/workload/CMakeFiles/preempt_workload.dir/spec.cc.o" "gcc" "src/workload/CMakeFiles/preempt_workload.dir/spec.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/preempt_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/preempt_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/preempt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/preempt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

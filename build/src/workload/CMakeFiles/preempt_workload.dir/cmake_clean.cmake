@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_workload.dir/generator.cc.o"
+  "CMakeFiles/preempt_workload.dir/generator.cc.o.d"
+  "CMakeFiles/preempt_workload.dir/loadsweep.cc.o"
+  "CMakeFiles/preempt_workload.dir/loadsweep.cc.o.d"
+  "CMakeFiles/preempt_workload.dir/spec.cc.o"
+  "CMakeFiles/preempt_workload.dir/spec.cc.o.d"
+  "CMakeFiles/preempt_workload.dir/trace.cc.o"
+  "CMakeFiles/preempt_workload.dir/trace.cc.o.d"
+  "libpreempt_workload.a"
+  "libpreempt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

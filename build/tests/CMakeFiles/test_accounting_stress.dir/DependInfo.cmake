@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accounting_stress.cc" "tests/CMakeFiles/test_accounting_stress.dir/test_accounting_stress.cc.o" "gcc" "tests/CMakeFiles/test_accounting_stress.dir/test_accounting_stress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/preempt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/preemptible/CMakeFiles/preemptible.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/preempt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime_sim/CMakeFiles/preempt_runtime_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/preempt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/preempt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/preempt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/preempt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/preempt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accounting_stress.dir/test_accounting_stress.cc.o"
+  "CMakeFiles/test_accounting_stress.dir/test_accounting_stress.cc.o.d"
+  "test_accounting_stress"
+  "test_accounting_stress.pdb"
+  "test_accounting_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accounting_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

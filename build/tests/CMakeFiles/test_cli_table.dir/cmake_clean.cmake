@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_table.dir/test_cli_table.cc.o"
+  "CMakeFiles/test_cli_table.dir/test_cli_table.cc.o.d"
+  "test_cli_table"
+  "test_cli_table.pdb"
+  "test_cli_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_invariants.dir/test_fuzz_invariants.cc.o"
+  "CMakeFiles/test_fuzz_invariants.dir/test_fuzz_invariants.cc.o.d"
+  "test_fuzz_invariants"
+  "test_fuzz_invariants.pdb"
+  "test_fuzz_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

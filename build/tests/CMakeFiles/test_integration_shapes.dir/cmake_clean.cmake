@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_shapes.dir/test_integration_shapes.cc.o"
+  "CMakeFiles/test_integration_shapes.dir/test_integration_shapes.cc.o.d"
+  "test_integration_shapes"
+  "test_integration_shapes.pdb"
+  "test_integration_shapes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

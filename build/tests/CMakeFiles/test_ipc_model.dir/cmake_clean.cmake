@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipc_model.dir/test_ipc_model.cc.o"
+  "CMakeFiles/test_ipc_model.dir/test_ipc_model.cc.o.d"
+  "test_ipc_model"
+  "test_ipc_model.pdb"
+  "test_ipc_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_machine.dir/test_kernel_machine.cc.o"
+  "CMakeFiles/test_kernel_machine.dir/test_kernel_machine.cc.o.d"
+  "test_kernel_machine"
+  "test_kernel_machine.pdb"
+  "test_kernel_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

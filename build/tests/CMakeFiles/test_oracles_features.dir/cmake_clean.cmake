@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracles_features.dir/test_oracles_features.cc.o"
+  "CMakeFiles/test_oracles_features.dir/test_oracles_features.cc.o.d"
+  "test_oracles_features"
+  "test_oracles_features.pdb"
+  "test_oracles_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracles_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preemptible_real.dir/test_preemptible_real.cc.o"
+  "CMakeFiles/test_preemptible_real.dir/test_preemptible_real.cc.o.d"
+  "test_preemptible_real"
+  "test_preemptible_real.pdb"
+  "test_preemptible_real[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preemptible_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

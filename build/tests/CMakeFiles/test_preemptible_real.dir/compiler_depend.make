@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_preemptible_real.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantum_controller.dir/test_quantum_controller.cc.o"
+  "CMakeFiles/test_quantum_controller.dir/test_quantum_controller.cc.o.d"
+  "test_quantum_controller"
+  "test_quantum_controller.pdb"
+  "test_quantum_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantum_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_pool.dir/test_runtime_pool.cc.o"
+  "CMakeFiles/test_runtime_pool.dir/test_runtime_pool.cc.o.d"
+  "test_runtime_pool"
+  "test_runtime_pool.pdb"
+  "test_runtime_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

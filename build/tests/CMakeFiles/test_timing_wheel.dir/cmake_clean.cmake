@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_wheel.dir/test_timing_wheel.cc.o"
+  "CMakeFiles/test_timing_wheel.dir/test_timing_wheel.cc.o.d"
+  "test_timing_wheel"
+  "test_timing_wheel.pdb"
+  "test_timing_wheel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_wheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

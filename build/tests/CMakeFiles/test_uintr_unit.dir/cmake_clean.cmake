@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uintr_unit.dir/test_uintr_unit.cc.o"
+  "CMakeFiles/test_uintr_unit.dir/test_uintr_unit.cc.o.d"
+  "test_uintr_unit"
+  "test_uintr_unit.pdb"
+  "test_uintr_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uintr_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utimer_model.dir/test_utimer_model.cc.o"
+  "CMakeFiles/test_utimer_model.dir/test_utimer_model.cc.o.d"
+  "test_utimer_model"
+  "test_utimer_model.pdb"
+  "test_utimer_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utimer_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

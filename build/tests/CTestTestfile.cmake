@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_dist[1]_include.cmake")
+include("/root/repo/build/tests/test_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_containers[1]_include.cmake")
+include("/root/repo/build/tests/test_cli_table[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_uintr_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_quantum_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_wheel[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_utimer_model[1]_include.cmake")
+include("/root/repo/build/tests/test_libpreemptible_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_preemptible_real[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_oracles_features[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_ipc_model[1]_include.cmake")
+include("/root/repo/build/tests/test_accounting_stress[1]_include.cmake")
