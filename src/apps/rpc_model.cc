@@ -97,7 +97,7 @@ RpcServerSim::runNext(KThread &k, TimeNs now)
 
     int id = k.id;
     if (!preemptive) {
-        sim_.at(seg_start + req.remaining, [this, id](TimeNs t) {
+        k.event = sim_.at(seg_start + req.remaining, [this, id](TimeNs t) {
             segmentEnd(kthreads_[static_cast<std::size_t>(id)], t, true);
         });
         return;
@@ -107,12 +107,12 @@ RpcServerSim::runNext(KThread &k, TimeNs now)
     runtime_sim::FirePlan plan = utimer_.planFire(seg_start + tq);
     if (seg_start + req.remaining <= plan.handlerEntry) {
         utimer_.cancel(plan);
-        sim_.at(seg_start + req.remaining, [this, id](TimeNs t) {
+        k.event = sim_.at(seg_start + req.remaining, [this, id](TimeNs t) {
             segmentEnd(kthreads_[static_cast<std::size_t>(id)], t, true);
         });
     } else {
         TimeNs ovh = plan.workerOverhead;
-        sim_.at(plan.handlerEntry, [this, id, ovh](TimeNs t) {
+        k.event = sim_.at(plan.handlerEntry, [this, id, ovh](TimeNs t) {
             metrics_.addPreemptionOverhead(ovh);
             segmentEnd(kthreads_[static_cast<std::size_t>(id)], t, false);
         });
@@ -126,6 +126,7 @@ RpcServerSim::segmentEnd(KThread &k, TimeNs now, bool completed)
     panic_if(!req, "segment end without a request");
     k.running = false;
     k.current = nullptr;
+    k.event = sim::kInvalidEvent;
     TimeNs executed = now - k.segStart;
     metrics_.addExecution(std::min<TimeNs>(executed, req->remaining));
 

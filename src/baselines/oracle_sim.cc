@@ -40,6 +40,9 @@ ProcessorSharingSim::advance(TimeNs now)
 void
 ProcessorSharingSim::replan(TimeNs now)
 {
+    // nextEvent_ may have fired already; generation-tagged EventIds
+    // make cancelling a stale handle a guaranteed no-op even after the
+    // queue reuses the underlying slot.
     sim_.events().cancel(nextEvent_);
     nextEvent_ = sim::kInvalidEvent;
     if (active_.empty())

@@ -14,6 +14,7 @@
 #define PREEMPT_CORE_QUANTUM_CONTROLLER_HH
 
 #include <cstddef>
+#include <limits>
 
 #include "common/stats.hh"
 #include "common/time.hh"
@@ -53,7 +54,10 @@ struct ControlInputs
     double loadRps = 0;       ///< measured arrival/completion rate
     double maxLoadRps = 0;    ///< capacity estimate
     std::size_t maxQueueLen = 0;
-    double tailIndex = 0;     ///< fitted alpha (inf when unknown)
+    /** Fitted alpha; inf when unknown, matching hillTailIndex(). A
+     *  zero default would read as maximally heavy-tailed and force a
+     *  shrink on every step fed default-constructed inputs. */
+    double tailIndex = std::numeric_limits<double>::infinity();
 };
 
 /** The controller state machine (pure logic; no simulator coupling). */

@@ -1,14 +1,14 @@
 #include "core/timing_wheel.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 
 namespace preempt::core {
 
 TimingWheel::TimingWheel(TimeNs tick, std::size_t slots, int levels)
-    : tick_(tick), slotCount_(slots), levels_(levels), now_(0), nextId_(1),
-      live_(0)
+    : tick_(tick), slotCount_(slots), levels_(levels), now_(0), live_(0)
 {
     fatal_if(tick == 0, "timing wheel tick must be > 0");
     fatal_if(slots < 2 || (slots & (slots - 1)) != 0,
@@ -26,9 +26,17 @@ TimingWheel::slot(int level, std::size_t index)
 TimeNs
 TimingWheel::horizon() const
 {
+    // tick * slots^levels can overflow TimeNs for coarse ticks or deep
+    // hierarchies (e.g. 10 s tick, 256^8 slots); saturate instead of
+    // wrapping to a tiny bogus horizon.
     TimeNs span = tick_;
-    for (int l = 0; l < levels_; ++l)
+    for (int l = 0; l < levels_; ++l) {
+        if (span > kTimeNever / slotCount_)
+            return kTimeNever;
         span *= slotCount_;
+    }
+    if (span > kTimeNever - now_)
+        return kTimeNever;
     return now_ + span;
 }
 
@@ -55,22 +63,51 @@ TimingWheel::place(Entry entry)
 std::uint64_t
 TimingWheel::schedule(TimeNs when, std::uint64_t cookie)
 {
-    Entry e{nextId_++, when, cookie};
-    place(e);
+    std::uint32_t index;
+    if (!freeIds_.empty()) {
+        index = freeIds_.back();
+        freeIds_.pop_back();
+    } else {
+        fatal_if(arena_.size() >= 0xffffffffull,
+                 "timing wheel id arena exhausted");
+        index = static_cast<std::uint32_t>(arena_.size());
+        arena_.emplace_back();
+    }
+    arena_[index].armed = true;
+    std::uint64_t id = makeId(index, arena_[index].gen);
+    place(Entry{id, when, cookie, ++nextSeq_});
     ++live_;
-    return e.id;
+    return id;
+}
+
+void
+TimingWheel::freeArenaSlot(std::uint64_t index)
+{
+    TimerSlot &s = arena_[index];
+    s.armed = false;
+    ++s.gen;
+    freeIds_.push_back(static_cast<std::uint32_t>(index));
+    panic_if(live_ == 0, "timing wheel accounting underflow");
+    --live_;
 }
 
 bool
 TimingWheel::cancel(std::uint64_t id)
 {
-    if (id == 0 || id >= nextId_)
+    if (id == 0)
         return false;
-    auto [it, inserted] = cancelled_.emplace(id, true);
-    if (!inserted)
+    std::uint64_t index = idIndex(id);
+    if (index >= arena_.size())
         return false;
-    if (live_ > 0)
-        --live_;
+    TimerSlot &s = arena_[index];
+    // Expired timers freed their slot under a new generation, so a
+    // cancel-after-expiry (or double cancel) is rejected here without
+    // touching another timer's accounting.
+    if (!s.armed || s.gen != idGen(id))
+        return false;
+    freeArenaSlot(index);
+    // The wheel bucket keeps a stale entry until its deadline comes
+    // around; advance() drops it on the generation mismatch.
     return true;
 }
 
@@ -122,16 +159,17 @@ TimingWheel::advance(TimeNs now, const ExpireFn &fn)
 
     std::sort(expired.begin(), expired.end(),
               [](const Entry &a, const Entry &b) {
-                  return a.when != b.when ? a.when < b.when : a.id < b.id;
+                  return a.when != b.when ? a.when < b.when
+                                           : a.seq < b.seq;
               });
     for (const Entry &e : expired) {
-        auto it = cancelled_.find(e.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
+        std::uint64_t index = idIndex(e.id);
+        TimerSlot &s = arena_[index];
+        // Cancelled entries linger in the buckets as tombstones; the
+        // generation mismatch identifies them here.
+        if (!s.armed || s.gen != idGen(e.id))
             continue;
-        }
-        panic_if(live_ == 0, "timing wheel accounting underflow");
-        --live_;
+        freeArenaSlot(index);
         fn(e.cookie, e.when);
     }
 }

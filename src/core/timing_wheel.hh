@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.hh"
@@ -38,7 +37,8 @@ class TimingWheel
      * Schedule a timer.
      * @param when   absolute deadline (clamped to now for past times)
      * @param cookie caller data returned on expiry
-     * @return timer id for cancel().
+     * @return timer id for cancel(). Ids are generation-tagged arena
+     *         handles (slot index | generation), never 0.
      */
     std::uint64_t schedule(TimeNs when, std::uint64_t cookie);
 
@@ -59,7 +59,7 @@ class TimingWheel
 
     TimeNs tick() const { return tick_; }
 
-    /** Furthest representable deadline from now. */
+    /** Furthest representable deadline from now (saturating). */
     TimeNs horizon() const;
 
   private:
@@ -68,7 +68,38 @@ class TimingWheel
         std::uint64_t id;
         TimeNs when;
         std::uint64_t cookie;
+        /** Global schedule order; breaks same-deadline expiry ties. */
+        std::uint64_t seq;
     };
+
+    /**
+     * Arena record behind each timer id. Ids encode
+     * ((slot index + 1) << 32) | generation; freeing a slot (cancel or
+     * expiry) bumps the generation, so stale ids — including ids of
+     * timers that already fired — are rejected in O(1) with no
+     * tombstone map and no accounting side effects.
+     */
+    struct TimerSlot
+    {
+        std::uint32_t gen = 0;
+        bool armed = false;
+    };
+
+    static constexpr std::uint64_t
+    makeId(std::uint32_t index, std::uint32_t gen)
+    {
+        return ((static_cast<std::uint64_t>(index) + 1) << 32) | gen;
+    }
+
+    static constexpr std::uint64_t idIndex(std::uint64_t id)
+    {
+        return (id >> 32) - 1;
+    }
+
+    static constexpr std::uint32_t idGen(std::uint64_t id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
 
     /** level-major slot array: slots_[level * slotCount_ + index]. */
     std::vector<Entry> &slot(int level, std::size_t index);
@@ -76,14 +107,18 @@ class TimingWheel
     /** Place an entry into the correct level/slot. */
     void place(Entry entry);
 
+    /** Retire an arena slot: bump generation, recycle the index. */
+    void freeArenaSlot(std::uint64_t index);
+
     TimeNs tick_;
     std::size_t slotCount_;
     int levels_;
     TimeNs now_;
-    std::uint64_t nextId_;
     std::size_t live_;
+    std::uint64_t nextSeq_ = 0;
     std::vector<std::vector<Entry>> slots_;
-    std::unordered_map<std::uint64_t, bool> cancelled_;
+    std::vector<TimerSlot> arena_;
+    std::vector<std::uint32_t> freeIds_;
 };
 
 } // namespace preempt::core

@@ -153,6 +153,9 @@ class LibPreemptibleSim : public ServerModel
         workload::RequestQueue local;
         workload::Request *current = nullptr;
         TimeNs segStart = 0;
+        /** Outstanding completion/preemption event for the running
+         *  segment. Generation-tagged, so holding it past the fire is
+         *  safe: a stale cancel would be a no-op. */
         sim::EventId event = sim::kInvalidEvent;
         bool idle = true;
         bool wakePending = false;

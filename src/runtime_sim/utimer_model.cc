@@ -117,15 +117,19 @@ UTimerModel::startPeriodic(int slot, TimeNs interval,
             UTimerModel *m = self;
             FirePlan plan = m->planFire(target);
             Chain next = *this;
-            m->sim_.at(std::max(plan.handlerEntry, m->sim_.now()),
-                       [next, target](TimeNs now) {
+            sim::EventId id =
+                m->sim_.at(std::max(plan.handlerEntry, m->sim_.now()),
+                           [next, target](TimeNs now) {
                 Slot &s =
                     next.self->slots_[static_cast<std::size_t>(next.slot)];
+                // The generation guards the one fire that may already
+                // be in flight when stopPeriodic() cancels the chain.
                 if (!s.periodic || s.generation != next.gen)
                     return;
                 s.handler(now);
                 next.arm(target + next.interval);
             });
+            m->slots_[static_cast<std::size_t>(next.slot)].pending = id;
         }
     };
 
@@ -141,6 +145,10 @@ UTimerModel::stopPeriodic(int slot)
     Slot &s = slots_[static_cast<std::size_t>(slot)];
     s.periodic = false;
     ++s.generation;
+    // Drop the queued fire; a stale id (chain currently firing) is a
+    // harmless no-op thanks to the queue's generation tags.
+    sim_.events().cancel(s.pending);
+    s.pending = sim::kInvalidEvent;
 }
 
 } // namespace preempt::runtime_sim

@@ -128,6 +128,10 @@ class UTimerModel
     {
         bool periodic = false;
         std::uint64_t generation = 0;
+        /** Next scheduled fire of the periodic chain; cancelled
+         *  eagerly on stopPeriodic() so dead events leave the queue
+         *  instead of firing into a generation check. */
+        sim::EventId pending = sim::kInvalidEvent;
         std::function<void(TimeNs)> handler;
     };
 

@@ -5,32 +5,190 @@
  * Events scheduled for the same time fire in scheduling order (a
  * monotonically increasing sequence number breaks ties), so a fixed
  * seed always reproduces the same simulation.
+ *
+ * Internals (see DESIGN.md "Simulator internals"): event state lives
+ * in a generation-tagged slot arena and the ready order in an implicit
+ * 4-ary min-heap of plain {when, seq, id} records. An EventId encodes
+ * (slot index | generation), so cancel() and the fired-check are O(1)
+ * array operations — no hashing, and no tombstone set that can grow
+ * without bound. Callbacks are stored in-slot with small-buffer
+ * optimisation, so the common captures (a core id, a request pointer)
+ * never touch the allocator.
  */
 
 #ifndef PREEMPT_SIM_EVENT_QUEUE_HH
 #define PREEMPT_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/time.hh"
 
 namespace preempt::sim {
 
-/** Opaque handle used to cancel a scheduled event. */
+/**
+ * Opaque handle used to cancel a scheduled event.
+ *
+ * Encodes (slot index + 1) in the upper 32 bits and the slot's
+ * generation in the lower 32. The generation is bumped every time a
+ * slot is freed (event fired or cancelled), so a handle to a dead
+ * event never aliases the slot's next occupant.
+ */
 using EventId = std::uint64_t;
 
 /** Invalid handle constant. */
 inline constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Type-erased move-only callable with small-buffer inline storage.
+ * Callables up to kInlineSize bytes (and max_align_t alignment) live
+ * inside the owning slot; larger ones fall back to the heap.
+ */
+class EventCallback
+{
+  public:
+    /** Covers a std::function plus the typical small lambda capture. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    EventCallback() noexcept : ops_(nullptr) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&f) : ops_(nullptr) // NOLINT: implicit by design
+    {
+        using D = std::decay_t<F>;
+        // Null std::function / function pointer stays empty so the
+        // queue can reject it (matches the old std::function check).
+        if constexpr (std::is_constructible_v<bool, const D &>) {
+            if (!static_cast<bool>(f))
+                return;
+        }
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &InlineOps<D>::ops;
+        } else {
+            D *p = new D(std::forward<F>(f));
+            std::memcpy(buf_, &p, sizeof(p));
+            ops_ = &HeapOps<D>::ops;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(other.buf_, buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_) {
+                ops_->relocate(other.buf_, buf_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** Destroy the held callable (if any). */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void operator()(TimeNs t) { ops_->invoke(buf_, t); }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *, TimeNs);
+        /** Move-construct into dst, destroy src. */
+        void (*relocate)(void *, void *) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= kInlineSize &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D> struct InlineOps
+    {
+        static D *
+        get(void *buf)
+        {
+            return std::launder(reinterpret_cast<D *>(buf));
+        }
+        static void invoke(void *buf, TimeNs t) { (*get(buf))(t); }
+        static void
+        relocate(void *src, void *dst) noexcept
+        {
+            D *s = get(src);
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        }
+        static void destroy(void *buf) noexcept { get(buf)->~D(); }
+        static constexpr Ops ops = {&invoke, &relocate, &destroy};
+    };
+
+    template <typename D> struct HeapOps
+    {
+        static D *
+        get(void *buf)
+        {
+            D *p;
+            std::memcpy(&p, buf, sizeof(p));
+            return p;
+        }
+        static void invoke(void *buf, TimeNs t) { (*get(buf))(t); }
+        static void
+        relocate(void *src, void *dst) noexcept
+        {
+            std::memcpy(dst, src, sizeof(D *));
+        }
+        static void destroy(void *buf) noexcept { delete get(buf); }
+        static constexpr Ops ops = {&invoke, &relocate, &destroy};
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    const Ops *ops_;
+};
 
 /** Min-heap of timed callbacks with O(1) cancellation. */
 class EventQueue
 {
   public:
     EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /**
      * Schedule a callback at an absolute time.
@@ -40,18 +198,27 @@ class EventQueue
      * @param fn   callback, invoked with the firing time.
      * @return a handle usable with cancel().
      */
-    EventId schedule(TimeNs when, std::function<void(TimeNs)> fn);
+    template <typename F>
+    EventId
+    schedule(TimeNs when, F &&fn)
+    {
+        EventCallback cb(std::forward<F>(fn));
+        panic_if(!cb, "scheduling an empty callback");
+        return scheduleErased(when, std::move(cb));
+    }
 
     /**
      * Cancel a previously scheduled event. Cancelling an event that
      * already fired (or was already cancelled) is a harmless no-op,
      * which lets runtimes invalidate stale preemption/completion
      * events without bookkeeping races.
+     *
+     * @return true when a live event was actually cancelled.
      */
-    void cancel(EventId id);
+    bool cancel(EventId id);
 
     /** True when no live events remain. */
-    bool empty() const;
+    bool empty() const { return live_ == 0; }
 
     /** Time of the earliest live event (kTimeNever when empty). */
     TimeNs nextTime() const;
@@ -63,37 +230,65 @@ class EventQueue
     TimeNs runOne();
 
     /** Number of live (non-cancelled) events. */
-    std::size_t size() const { return pending_.size(); }
+    std::size_t size() const { return live_; }
 
     /** Total events ever scheduled (for stats / debugging). */
-    std::uint64_t scheduledCount() const { return nextSeq_ - 1; }
+    std::uint64_t scheduledCount() const { return scheduled_; }
 
   private:
-    struct Entry
+    /** Arena slot: holds one event's liveness tag and its callback. */
+    struct Slot
+    {
+        std::uint32_t gen = 0;
+        bool armed = false;
+        EventCallback fn;
+    };
+
+    /**
+     * 4-ary-heap record. `seq` is the global schedule order and breaks
+     * same-time ties, preserving the seed-deterministic FIFO firing
+     * order of the original implementation.
+     */
+    struct HeapEntry
     {
         TimeNs when;
+        std::uint64_t seq;
         EventId id;
-        std::function<void(TimeNs)> fn;
     };
 
-    struct Later
+    static constexpr EventId
+    makeId(std::uint32_t index, std::uint32_t gen)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id;
-        }
-    };
+        return ((static_cast<EventId>(index) + 1) << 32) | gen;
+    }
 
-    /** Discard cancelled entries at the heap top. */
+    /** Slot index, or an out-of-range value for garbage handles. */
+    static constexpr std::uint64_t idIndex(EventId id)
+    {
+        return (id >> 32) - 1;
+    }
+
+    static constexpr std::uint32_t idGen(EventId id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+
+    EventId scheduleErased(TimeNs when, EventCallback cb);
+
+    /** Mark a slot dead: bump its generation and recycle the index. */
+    void freeSlot(std::uint64_t index);
+
+    /** True when the entry still refers to a live (armed) slot. */
+    bool liveEntry(const HeapEntry &e) const;
+
+    /** Discard heap records whose event was cancelled. */
     void skipDead() const;
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<EventId> pending_;   ///< scheduled, not yet fired
-    mutable std::unordered_set<EventId> cancelled_;
-    EventId nextSeq_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    mutable std::vector<HeapEntry> heap_;
+    std::uint64_t scheduled_;
+    std::size_t live_;
 };
 
 } // namespace preempt::sim

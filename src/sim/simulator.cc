@@ -11,13 +11,6 @@ Simulator::Simulator(std::uint64_t seed)
 {
 }
 
-EventId
-Simulator::at(TimeNs when, std::function<void(TimeNs)> fn)
-{
-    panic_if(when < now_, "scheduling an event in the past");
-    return events_.schedule(when, std::move(fn));
-}
-
 std::function<void()>
 Simulator::every(TimeNs interval, std::function<void(TimeNs)> fn)
 {

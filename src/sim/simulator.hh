@@ -33,14 +33,21 @@ class Simulator
     Rng &rng() { return rng_; }
 
     /** Schedule relative to now. */
+    template <typename F>
     EventId
-    after(TimeNs delay, std::function<void(TimeNs)> fn)
+    after(TimeNs delay, F &&fn)
     {
-        return events_.schedule(now_ + delay, std::move(fn));
+        return events_.schedule(now_ + delay, std::forward<F>(fn));
     }
 
     /** Schedule at an absolute time (must be >= now). */
-    EventId at(TimeNs when, std::function<void(TimeNs)> fn);
+    template <typename F>
+    EventId
+    at(TimeNs when, F &&fn)
+    {
+        panic_if(when < now_, "scheduling an event in the past");
+        return events_.schedule(when, std::forward<F>(fn));
+    }
 
     /**
      * Register a periodic task with a fixed interval; the task keeps

@@ -39,7 +39,7 @@ TEST(EventQueue, CancelPreventsFiring)
     EventQueue q;
     bool fired = false;
     EventId id = q.schedule(10, [&](TimeNs) { fired = true; });
-    q.cancel(id);
+    EXPECT_TRUE(q.cancel(id));
     EXPECT_TRUE(q.empty());
     EXPECT_FALSE(fired);
 }
@@ -49,7 +49,7 @@ TEST(EventQueue, CancelAfterFireIsNoop)
     EventQueue q;
     EventId id = q.schedule(1, [](TimeNs) {});
     q.runOne();
-    q.cancel(id); // must not corrupt accounting
+    EXPECT_FALSE(q.cancel(id)); // must not corrupt accounting
     EXPECT_EQ(q.size(), 0u);
     bool fired = false;
     q.schedule(2, [&](TimeNs) { fired = true; });
@@ -62,17 +62,89 @@ TEST(EventQueue, DoubleCancelIsNoop)
     EventQueue q;
     EventId id = q.schedule(10, [](TimeNs) {});
     q.schedule(20, [](TimeNs) {});
-    q.cancel(id);
-    q.cancel(id);
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
     EXPECT_EQ(q.size(), 1u);
 }
 
 TEST(EventQueue, CancelInvalidIsNoop)
 {
     EventQueue q;
-    q.cancel(kInvalidEvent);
-    q.cancel(12345);
+    EXPECT_FALSE(q.cancel(kInvalidEvent));
+    EXPECT_FALSE(q.cancel(12345));
     EXPECT_TRUE(q.empty());
+}
+
+// A handle from a previous occupant of a reused arena slot must not
+// cancel (or even see) the slot's current occupant.
+TEST(EventQueue, StaleIdFromPreviousGenerationRejected)
+{
+    EventQueue q;
+    EventId first = q.schedule(1, [](TimeNs) {});
+    q.runOne(); // frees the slot; the next schedule reuses it
+    bool fired = false;
+    EventId second = q.schedule(2, [&](TimeNs) { fired = true; });
+    EXPECT_NE(first, second);
+    EXPECT_FALSE(q.cancel(first)) << "stale generation must be rejected";
+    EXPECT_EQ(q.size(), 1u);
+    q.runOne();
+    EXPECT_TRUE(fired);
+
+    // Same for a slot freed by cancellation rather than firing.
+    EventId third = q.schedule(3, [](TimeNs) {});
+    EXPECT_TRUE(q.cancel(third));
+    EventId fourth = q.schedule(3, [](TimeNs) {});
+    EXPECT_FALSE(q.cancel(third));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(fourth));
+}
+
+// Heavy schedule/cancel churn across slot reuse keeps accounting and
+// firing order exact.
+TEST(EventQueue, CancellationChurnKeepsOrderAndAccounting)
+{
+    EventQueue q;
+    std::vector<TimeNs> fired;
+    std::vector<EventId> ids;
+    for (int round = 0; round < 50; ++round) {
+        ids.clear();
+        for (TimeNs t = 1; t <= 20; ++t) {
+            TimeNs when = static_cast<TimeNs>(round) * 100 + t;
+            ids.push_back(
+                q.schedule(when, [&](TimeNs at) { fired.push_back(at); }));
+        }
+        // Cancel every other event, newest first.
+        for (std::size_t i = ids.size(); i-- > 0;) {
+            if (i % 2 == 1) {
+                EXPECT_TRUE(q.cancel(ids[i]));
+            }
+        }
+        EXPECT_EQ(q.size(), 10u);
+        while (!q.empty())
+            q.runOne();
+    }
+    ASSERT_EQ(fired.size(), 500u);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LT(fired[i - 1], fired[i]);
+    EXPECT_EQ(q.scheduledCount(), 1000u);
+}
+
+// Captures larger than the inline buffer take the heap fallback and
+// must still move correctly through slot reuse.
+TEST(EventQueue, LargeCaptureFallsBackToHeap)
+{
+    EventQueue q;
+    struct Big
+    {
+        unsigned char pad[2 * EventCallback::kInlineSize];
+        int *out;
+    };
+    int out = 0;
+    Big big{};
+    big.out = &out;
+    q.schedule(5, [big](TimeNs) { *big.out = 7; });
+    q.runOne();
+    EXPECT_EQ(out, 7);
 }
 
 TEST(EventQueue, NextTimeTracksEarliestLive)

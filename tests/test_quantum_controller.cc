@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "core/quantum_controller.hh"
@@ -65,6 +66,20 @@ TEST(Controller, LowLoadGrowsByK3)
     in.loadRps = 0.05e6; // below L_low = 0.1
     EXPECT_EQ(c.step(in), usToNs(55));
     EXPECT_EQ(c.grows(), 1u);
+}
+
+// Regression: tailIndex used to default to 0, which read as maximally
+// heavy-tailed and forced a shrink on every control period fed
+// default-constructed inputs. "Unknown" must mean inf, a no-op.
+TEST(Controller, DefaultInputsAreNoOp)
+{
+    QuantumController c(params(), usToNs(50));
+    ControlInputs in; // all defaults: nothing known yet
+    EXPECT_TRUE(std::isinf(in.tailIndex));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(c.step(in), usToNs(50));
+    EXPECT_EQ(c.shrinks(), 0u);
+    EXPECT_EQ(c.grows(), 0u);
 }
 
 TEST(Controller, MidLoadLightTailHoldsSteady)

@@ -56,6 +56,68 @@ TEST(TimingWheel, CancelUnknownIdIsFalse)
     EXPECT_FALSE(wheel.cancel(999));
 }
 
+// Regression: cancelling an id that already expired used to insert a
+// tombstone and decrement live_, corrupting the accounting of a
+// *different* live timer (and later tripping the underflow panic in
+// advance). It must be a side-effect-free false.
+TEST(TimingWheel, CancelAfterExpiryIsRejectedWithoutSideEffects)
+{
+    TimingWheel wheel(10);
+    auto expired = wheel.schedule(50, 1);
+    auto live = wheel.schedule(100000, 2);
+    int fired = 0;
+    wheel.advance(100, [&](std::uint64_t c, TimeNs) {
+        EXPECT_EQ(c, 1u);
+        ++fired;
+    });
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(wheel.size(), 1u);
+
+    EXPECT_FALSE(wheel.cancel(expired)) << "cancel-after-expiry";
+    EXPECT_EQ(wheel.size(), 1u) << "must not touch the live timer";
+
+    // The live timer still fires exactly once, with no panic.
+    wheel.advance(200000, [&](std::uint64_t c, TimeNs) {
+        EXPECT_EQ(c, 2u);
+        ++fired;
+    });
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(wheel.size(), 0u);
+    EXPECT_TRUE(wheel.cancel(live) == false);
+}
+
+// Regression: a slot index reused after cancel must not be reachable
+// through the old id.
+TEST(TimingWheel, StaleIdFromPreviousGenerationRejected)
+{
+    TimingWheel wheel(10);
+    auto first = wheel.schedule(100, 1);
+    EXPECT_TRUE(wheel.cancel(first));
+    auto second = wheel.schedule(100, 2); // reuses the arena slot
+    EXPECT_NE(first, second);
+    EXPECT_FALSE(wheel.cancel(first));
+    EXPECT_EQ(wheel.size(), 1u);
+    bool fired = false;
+    wheel.advance(200, [&](std::uint64_t c, TimeNs) {
+        EXPECT_EQ(c, 2u);
+        fired = true;
+    });
+    EXPECT_TRUE(fired);
+}
+
+// Regression: tick * slots^levels overflowed TimeNs for coarse ticks
+// and deep hierarchies; horizon() must saturate, not wrap.
+TEST(TimingWheel, HorizonSaturatesInsteadOfOverflowing)
+{
+    TimingWheel coarse(secToNs(10), 256, 8);
+    EXPECT_EQ(coarse.horizon(), kTimeNever);
+
+    TimingWheel fine(100, 16, 2);
+    EXPECT_EQ(fine.horizon(), 100u * 16 * 16);
+    fine.advance(1000, [](std::uint64_t, TimeNs) {});
+    EXPECT_EQ(fine.horizon(), 1000u + 100u * 16 * 16);
+}
+
 TEST(TimingWheel, LongDeadlinesCascadeAcrossLevels)
 {
     TimingWheel wheel(100, 16, 3); // level spans: 1.6k, 25.6k, 409.6k
@@ -114,16 +176,17 @@ TEST_P(TimingWheelProperty, NoTimerLostNoneEarlyBoundedLate)
     TimingWheel wheel(g.tick, g.slots, g.levels);
     Rng rng(42);
     std::map<std::uint64_t, TimeNs> expect; // cookie -> deadline
+    std::vector<std::uint64_t> ids;         // schedule order
     TimeNs horizon = g.tick * 200000;
     for (std::uint64_t i = 0; i < 2000; ++i) {
         TimeNs when = 1 + rng.next64() % horizon;
-        wheel.schedule(when, i);
+        ids.push_back(wheel.schedule(when, i));
         expect[i] = when;
     }
     // A few cancellations.
-    for (std::uint64_t id = 1; id <= 2000; id += 97) {
-        if (wheel.cancel(id))
-            expect.erase(id - 1); // ids are 1-based in schedule order
+    for (std::size_t i = 0; i < ids.size(); i += 97) {
+        ASSERT_TRUE(wheel.cancel(ids[i]));
+        expect.erase(i);
     }
 
     std::map<std::uint64_t, TimeNs> fired;
