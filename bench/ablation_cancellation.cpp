@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 #include "workload/generator.hh"
@@ -58,6 +59,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 200));
     TimeNs slo = usToNs(cli.getDouble("deadline-us", 200));
     cli.rejectUnknown();

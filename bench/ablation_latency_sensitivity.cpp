@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 
 using namespace preempt;
@@ -19,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     double rps = cli.getDouble("rps", 1000e3);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 250));
     cli.rejectUnknown();

@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 
 using namespace preempt;
@@ -22,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 250));
     cli.rejectUnknown();
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "common/rng.hh"
 #include "core/timing_wheel.hh"
@@ -73,6 +74,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int iters = static_cast<int>(cli.getInt("iters", 20000));
     cli.rejectUnknown();
 

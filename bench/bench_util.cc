@@ -5,6 +5,7 @@
 #include "baselines/libinger_sim.hh"
 #include "baselines/shinjuku_sim.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 
 namespace preempt::bench {
@@ -47,6 +48,14 @@ makeServer(sim::Simulator &sim, const hw::LatencyConfig &cfg,
 RunOutcome
 runOne(const RunSpec &spec, const hw::LatencyConfig &cfg)
 {
+    // Each run gets its own trace epoch (-> Perfetto process): multi-
+    // configuration benches re-run from virtual time 0, so their
+    // timestamps would otherwise interleave on one track.
+    std::ostringstream label;
+    label << spec.system << " " << spec.workload << " @" << spec.rps
+          << "rps q=" << nsToUs(spec.quantum) << "us";
+    obs::beginEpoch(label.str());
+
     sim::Simulator sim(spec.seed);
     auto server = makeServer(sim, cfg, spec);
     workload::WorkloadSpec wl{

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/histogram.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -19,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int n = static_cast<int>(cli.getInt("samples", 200000));
     cli.rejectUnknown();
 

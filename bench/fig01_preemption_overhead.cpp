@@ -15,6 +15,7 @@
 #include "bench/bench_util.hh"
 #include "workload/generator.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/dist.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -27,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 300));
     cli.rejectUnknown();
 

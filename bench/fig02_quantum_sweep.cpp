@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 
 using namespace preempt;
@@ -24,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 200));
     int workers = static_cast<int>(cli.getInt("workers", 16));
     cli.rejectUnknown();

@@ -20,6 +20,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/dist.hh"
 #include "common/table.hh"
 #include "workload/loadsweep.hh"
@@ -51,6 +52,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 250));
     cli.rejectUnknown();
 

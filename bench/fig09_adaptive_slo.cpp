@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 #include "workload/generator.hh"
@@ -81,6 +82,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     // Default sized so both phases of C are stable: the exponential
     // second half caps 4-worker capacity at ~800 kRPS.
     double rps = cli.getDouble("rps", 650e3);
@@ -89,7 +91,9 @@ main(int argc, char **argv)
     TimeNs slo = usToNs(cli.getDouble("slo-us", 50));
     cli.rejectUnknown();
 
+    obsSession.beginRun("static");
     Timeline fixed = run(false, usToNs(50), rps, duration, period, slo);
+    obsSession.beginRun("adaptive");
     Timeline adaptive = run(true, usToNs(50), rps, duration, period, slo);
 
     ConsoleTable table("Fig. 9: SLO violations on dynamic workload C "

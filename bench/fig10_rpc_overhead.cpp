@@ -16,6 +16,7 @@
 #include "apps/rpc_model.hh"
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "workload/generator.hh"
 
@@ -49,6 +50,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 300));
     double mean_us = cli.getDouble("mean-service-us", 20);
     int kthreads = static_cast<int>(cli.getInt("kthreads", 4));

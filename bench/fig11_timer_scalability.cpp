@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/histogram.hh"
 #include "common/table.hh"
 #include "hw/kernel.hh"
@@ -135,6 +136,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int fires = static_cast<int>(cli.getInt("fires", 1000));
     TimeNs interval = usToNs(cli.getDouble("interval-us", 100));
     cli.rejectUnknown();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/histogram.hh"
 #include "common/table.hh"
 #include "hw/kernel.hh"
@@ -106,6 +107,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int samples = static_cast<int>(cli.getInt("samples", 5000));
     int bg = static_cast<int>(cli.getInt("bg-threads", 26));
     cli.rejectUnknown();

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 #include "workload/generator.hh"
@@ -71,6 +72,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 2000));
     cli.rejectUnknown();
 

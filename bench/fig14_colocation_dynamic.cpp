@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 #include "workload/generator.hh"
@@ -119,6 +120,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 4000));
     TimeNs window = msToNs(cli.getDouble("window-ms", 250));
     cli.rejectUnknown();

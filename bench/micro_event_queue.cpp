@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -225,6 +226,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int ops = static_cast<int>(cli.getInt("ops", 2000000));
     int population = static_cast<int>(cli.getInt("population", 4096));
     int reps = static_cast<int>(cli.getInt("reps", 3));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 #include "workload/generator.hh"
@@ -72,6 +73,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 150));
     int workers_each = static_cast<int>(cli.getInt("workers-each", 4));
     double rps_each = cli.getDouble("rps-each", 800e3);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -74,6 +75,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     std::string src = cli.getString("src", PREEMPT_SOURCE_DIR);
     cli.rejectUnknown();
 

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "hw/ipc.hh"
 
@@ -22,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     std::uint64_t n = static_cast<std::uint64_t>(
         cli.getInt("messages", 1000000));
     std::uint64_t seed = static_cast<std::uint64_t>(cli.getInt("seed", 1));

@@ -15,6 +15,7 @@
 #include "apps/compressor.hh"
 #include "apps/kvstore.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/dist.hh"
 #include "common/histogram.hh"
 #include "common/rng.hh"
@@ -27,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int kv_ops = static_cast<int>(cli.getInt("kv-ops", 200000));
     int blocks = static_cast<int>(cli.getInt("blocks", 200));
     cli.rejectUnknown();

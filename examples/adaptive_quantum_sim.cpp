@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 #include "workload/generator.hh"
 
@@ -27,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     double rps = cli.getDouble("rps", 800e3);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 2000));
     TimeNs slo = usToNs(cli.getDouble("slo-us", 50));

@@ -21,6 +21,7 @@
 #include "apps/compressor.hh"
 #include "apps/kvstore.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/dist.hh"
 #include "common/rng.hh"
 #include "preemptible/adaptive_driver.hh"
@@ -116,6 +117,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int workers = static_cast<int>(cli.getInt("workers", 1));
     int lc_ops = static_cast<int>(cli.getInt("lc-ops", 2000));
     int be_jobs = static_cast<int>(cli.getInt("be-jobs", 3));

@@ -19,6 +19,7 @@
 #include "baselines/oracle_sim.hh"
 #include "baselines/shinjuku_sim.hh"
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/table.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 #include "workload/generator.hh"
@@ -29,6 +30,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     std::string system = cli.getString("system", "libpreemptible");
     std::string wl = cli.getString("workload", "A1");
     double rps = cli.getDouble("rps", 600e3);

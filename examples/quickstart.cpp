@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "preemptible/hosttime.hh"
 #include "preemptible/preemptible_fn.hh"
 #include "preemptible/utimer.hh"
@@ -28,6 +29,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int n_threads = static_cast<int>(cli.getInt("threads", 4));
     TimeNs quantum = msToNs(static_cast<double>(
         cli.getDouble("quantum-ms", 2.0)));

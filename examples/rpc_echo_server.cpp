@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "obs/session.hh"
 #include "common/histogram.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -246,6 +247,7 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
     int requests = static_cast<int>(cli.getInt("requests", 400));
     TimeNs long_burn = msToNs(cli.getDouble("long-ms", 20));
     TimeNs quantum = msToNs(cli.getDouble("quantum-ms", 2));

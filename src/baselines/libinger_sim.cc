@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace preempt::baselines {
 
@@ -46,6 +47,7 @@ LibingerSim::onArrival(Request &req)
     machine_.addBusy(0, cfg_.dispatchCost);
     TimeNs ready = lockedOp(netFreeAt_);
     sim_.at(ready, [this, &req](TimeNs t) {
+        obs::emit(obs::EventKind::Dispatch, 0, t, req.id, queue_.size());
         queue_.pushBack(&req);
         wakeWorker(t);
     });
@@ -92,6 +94,10 @@ LibingerSim::startSegment(Worker &w, Request &req, TimeNs now)
     w.current = &req;
     if (req.firstStart == kTimeNever)
         req.firstStart = now;
+    obs::emit(req.preemptions == 0 ? obs::EventKind::Launch
+                                   : obs::EventKind::Resume,
+              static_cast<std::uint32_t>(w.id + 1), now, req.id,
+              req.remaining, quantum_);
 
     // Arm the per-thread kernel timer (timer_settime) and switch into
     // the green thread.
@@ -142,6 +148,9 @@ LibingerSim::onCompletion(Worker &w, TimeNs now)
     req->remaining = 0;
     req->completion = now;
     ++finished_;
+    obs::emit(obs::EventKind::Complete,
+              static_cast<std::uint32_t>(w.id + 1), now, req->id,
+              req->latency(), req->preemptions);
     metrics_.onCompletion(*req);
     if (config_.completionHook)
         config_.completionHook(now, *req);
@@ -170,6 +179,9 @@ LibingerSim::onPreemption(Worker &w, TimeNs now)
              "preempted a request that should have completed");
     req->remaining -= executed;
     ++req->preemptions;
+    obs::emit(obs::EventKind::Preempt,
+              static_cast<std::uint32_t>(w.id + 1), now, req->id,
+              executed, req->remaining);
     metrics_.addExecution(executed);
 
     // Signal-handler cost was paid inside handler_entry; the context

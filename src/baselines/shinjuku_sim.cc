@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace preempt::baselines {
 
@@ -87,6 +88,9 @@ ShinjukuSim::tryAssign(TimeNs now)
         Request *req = victim ? queue_.popFront() : nullptr;
         if (victim && req) {
             victim->idle = false;
+            obs::emit(obs::EventKind::Dispatch, 0, t, req->id,
+                      static_cast<std::uint64_t>(victim->id),
+                      queue_.size());
             startSegment(*victim, *req, t);
         }
         tryAssign(t);
@@ -99,6 +103,10 @@ ShinjukuSim::startSegment(Worker &w, Request &req, TimeNs now)
     w.current = &req;
     if (req.firstStart == kTimeNever)
         req.firstStart = now;
+    obs::emit(req.preemptions == 0 ? obs::EventKind::Launch
+                                   : obs::EventKind::Resume,
+              static_cast<std::uint32_t>(w.id + 1), now, req.id,
+              req.remaining, quantum_);
 
     // Worker-side context switch into the request.
     TimeNs overhead = cfg_.userCtxSwitch;
@@ -152,6 +160,9 @@ ShinjukuSim::onCompletion(Worker &w, TimeNs now)
     req->remaining = 0;
     req->completion = now;
     ++finished_;
+    obs::emit(obs::EventKind::Complete,
+              static_cast<std::uint32_t>(w.id + 1), now, req->id,
+              req->latency(), req->preemptions);
     metrics_.onCompletion(*req);
     if (config_.completionHook)
         config_.completionHook(now, *req);
@@ -176,6 +187,9 @@ ShinjukuSim::onPreemption(Worker &w, TimeNs now)
              "preempted a request that should have completed");
     req->remaining -= executed;
     ++req->preemptions;
+    obs::emit(obs::EventKind::Preempt,
+              static_cast<std::uint32_t>(w.id + 1), now, req->id,
+              executed, req->remaining);
     metrics_.addExecution(executed);
 
     // Worker-side preemption cost: the ring transition + interrupt

@@ -7,7 +7,7 @@ namespace preempt {
 
 namespace {
 
-std::atomic<bool> informOn{true};
+std::atomic<LogLevel> minLevel{LogLevel::Inform};
 
 const char *
 levelName(LogLevel level)
@@ -24,15 +24,39 @@ levelName(LogLevel level)
 } // namespace
 
 void
+setMinLogLevel(LogLevel level)
+{
+    minLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+minLogLevel()
+{
+    return minLevel.load(std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "inform" || name == "info")
+        return LogLevel::Inform;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "error" || name == "quiet")
+        return LogLevel::Fatal;
+    fatal("--log-level expects inform|warn|error, got '%s'", name.c_str());
+}
+
+void
 setInformEnabled(bool enabled)
 {
-    informOn.store(enabled, std::memory_order_relaxed);
+    setMinLogLevel(enabled ? LogLevel::Inform : LogLevel::Warn);
 }
 
 bool
 informEnabled()
 {
-    return informOn.load(std::memory_order_relaxed);
+    return minLogLevel() <= LogLevel::Inform;
 }
 
 namespace detail {
@@ -51,7 +75,7 @@ logAndAbort(LogLevel level, const char *file, int line,
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (level == LogLevel::Inform && !informEnabled())
+    if (level < minLogLevel())
         return;
     std::cerr << levelName(level) << ": " << msg << std::endl;
 }

@@ -10,7 +10,9 @@
 #ifndef PREEMPT_COMMON_LOGGING_HH
 #define PREEMPT_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -18,7 +20,7 @@
 
 namespace preempt {
 
-/** Severity of a log record. */
+/** Severity of a log record (ascending). */
 enum class LogLevel { Inform, Warn, Fatal, Panic };
 
 namespace detail {
@@ -92,7 +94,22 @@ formatString(const char *fmt, Args &&...args)
 
 } // namespace detail
 
-/** Control whether inform() messages are printed (benches silence them). */
+/**
+ * Minimum severity that reaches stderr. Inform prints everything,
+ * Warn silences inform(), Fatal additionally silences warn().
+ * panic()/fatal() always print (they terminate the process).
+ */
+void setMinLogLevel(LogLevel level);
+LogLevel minLogLevel();
+
+/**
+ * Parse a --log-level flag value: "inform"/"info", "warn"/"warning",
+ * or "error"/"quiet" (warnings off). Fatal on anything else.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Control whether inform() messages are printed (benches silence
+ *  them). Legacy shim over setMinLogLevel(Inform/Warn). */
 void setInformEnabled(bool enabled);
 bool informEnabled();
 
@@ -131,6 +148,32 @@ bool informEnabled();
     ::preempt::detail::logMessage(::preempt::LogLevel::Inform,              \
                                   ::preempt::detail::formatString(          \
                                       __VA_ARGS__))
+
+/**
+ * warn_once() reports at most once per call site for the lifetime of
+ * the process — for conditions detected on per-event hot paths where
+ * a repeated warn() would flood the run.
+ */
+#define warn_once(...)                                                      \
+    do {                                                                    \
+        static std::atomic<bool> _preempt_warned_{false};                   \
+        if (!_preempt_warned_.exchange(true, std::memory_order_relaxed))    \
+            warn(__VA_ARGS__);                                              \
+    } while (0)
+
+/**
+ * warn_every_n(n, ...) reports on the 1st, (n+1)th, (2n+1)th, ...
+ * occurrence at this call site (rate-limited hot-path warning).
+ */
+#define warn_every_n(n, ...)                                                \
+    do {                                                                    \
+        static std::atomic<std::uint64_t> _preempt_warn_count_{0};          \
+        if (_preempt_warn_count_.fetch_add(                                 \
+                1, std::memory_order_relaxed) %                             \
+                static_cast<std::uint64_t>(n) ==                            \
+            0)                                                              \
+            warn(__VA_ARGS__);                                              \
+    } while (0)
 
 /** panic_if()/fatal_if() evaluate a condition and report on truth. */
 #define panic_if(cond, ...)                                                 \

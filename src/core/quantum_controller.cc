@@ -21,12 +21,16 @@ QuantumController::step(const ControlInputs &in)
     TimeNs before = quantum_;
     double high = params_.highLoadFraction * in.maxLoadRps;
     double low = params_.lowLoadFraction * in.maxLoadRps;
+    lastDecision_ = 0;
+    ++steps_;
 
     // Line 6-8: high load -> finer preemption for timely interrupts.
     if (in.maxLoadRps > 0 && in.loadRps > high) {
         quantum_ = quantum_ > params_.k1 + params_.tMin
                        ? quantum_ - params_.k1
                        : params_.tMin;
+        lastDecision_ |=
+            static_cast<std::uint8_t>(QuantumDecision::ShrinkHighLoad);
     }
 
     // Line 9-11: long queues or a heavy-tailed service law -> finer
@@ -37,11 +41,14 @@ QuantumController::step(const ControlInputs &in)
         quantum_ = quantum_ > params_.k2 + params_.tMin
                        ? quantum_ - params_.k2
                        : params_.tMin;
+        lastDecision_ |=
+            static_cast<std::uint8_t>(QuantumDecision::ShrinkQueueOrTail);
     }
 
     // Line 12-14: low load -> coarser preemption to save CPU cycles.
     if (in.maxLoadRps > 0 && in.loadRps < low) {
         quantum_ = std::min(quantum_ + params_.k3, params_.tMax);
+        lastDecision_ |= static_cast<std::uint8_t>(QuantumDecision::Grow);
     }
 
     if (quantum_ < before)

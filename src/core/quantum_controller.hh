@@ -14,6 +14,7 @@
 #define PREEMPT_CORE_QUANTUM_CONTROLLER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 #include "common/stats.hh"
@@ -60,6 +61,15 @@ struct ControlInputs
     double tailIndex = std::numeric_limits<double>::infinity();
 };
 
+/** Which Algorithm 1 branches fired on the last step (bitmask). */
+enum class QuantumDecision : std::uint8_t
+{
+    Hold = 0,
+    ShrinkHighLoad = 1,    ///< lines 6-8: load above L_high
+    ShrinkQueueOrTail = 2, ///< lines 9-11: long queues / heavy tail
+    Grow = 4,              ///< lines 12-14: load below L_low
+};
+
 /** The controller state machine (pure logic; no simulator coupling). */
 class QuantumController
 {
@@ -80,11 +90,23 @@ class QuantumController
     std::uint64_t shrinks() const { return shrinks_; }
     std::uint64_t grows() const { return grows_; }
 
+    /** Control steps taken. */
+    std::uint64_t steps() const { return steps_; }
+
+    /**
+     * Triggers of the most recent step(), as an or-combination of
+     * QuantumDecision bits (Hold when none fired) — callers trace
+     * every decision with its inputs.
+     */
+    std::uint8_t lastDecision() const { return lastDecision_; }
+
   private:
     QuantumControllerParams params_;
     TimeNs quantum_;
     std::uint64_t shrinks_;
     std::uint64_t grows_;
+    std::uint64_t steps_ = 0;
+    std::uint8_t lastDecision_ = 0;
 };
 
 } // namespace preempt::core

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace preempt::core {
 
@@ -106,6 +108,8 @@ TimingWheel::cancel(std::uint64_t id)
     if (!s.armed || s.gen != idGen(id))
         return false;
     freeArenaSlot(index);
+    obs::emit(obs::EventKind::TimerCancel, 0, now_, id);
+    obs::addCount("timing_wheel.cancels");
     // The wheel bucket keeps a stale entry until its deadline comes
     // around; advance() drops it on the generation mismatch.
     return true;
@@ -138,6 +142,14 @@ TimingWheel::advance(TimeNs now, const ExpireFn &fn)
                     (now_ / width) & (slotCount_ - 1));
                 std::vector<Entry> moving;
                 moving.swap(slot(level, idx));
+                if (!moving.empty()) {
+                    obs::emit(obs::EventKind::TimerCascade, 0, now_,
+                              static_cast<std::uint64_t>(level),
+                              moving.size());
+                    obs::addCount("timing_wheel.cascades");
+                    obs::addCount("timing_wheel.cascaded_entries",
+                                  moving.size());
+                }
                 for (Entry &e : moving)
                     place(e);
                 if (idx != 0)
@@ -170,6 +182,11 @@ TimingWheel::advance(TimeNs now, const ExpireFn &fn)
         if (!s.armed || s.gen != idGen(e.id))
             continue;
         freeArenaSlot(index);
+        // a0 = lateness: how far past the deadline the wheel fired
+        // (bounded by the tick for an innermost-level timer).
+        obs::emit(obs::EventKind::TimerFire, 0, now_, e.id,
+                  now_ - std::min(e.when, now_), e.cookie);
+        obs::addCount("timing_wheel.fires");
         fn(e.cookie, e.when);
     }
 }

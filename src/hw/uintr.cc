@@ -1,8 +1,22 @@
 #include "hw/uintr.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace preempt::hw {
+
+namespace {
+
+/** Trace tracks for uintr events are the receiver ids (in the
+ *  simulated runtimes a receiver is a worker thread). */
+std::uint32_t
+track(int receiver)
+{
+    return static_cast<std::uint32_t>(receiver);
+}
+
+} // namespace
 
 UintrUnit::UintrUnit(sim::Simulator &sim, const LatencyConfig &cfg)
     : sim_(sim), cfg_(cfg), rng_(sim.rng().fork(0x75696e74))
@@ -92,7 +106,12 @@ UintrUnit::senduipi(int uipi_index)
     if (!r.valid)
         return cfg_.senduipiCost;
 
+    if (r.pir == 0)
+        r.pirPostedAt = sim_.now();
     r.pir |= 1ULL << entry.vector;
+    obs::emit(obs::EventKind::UintrSend, track(entry.receiver),
+              sim_.now(), static_cast<std::uint64_t>(entry.receiver),
+              static_cast<std::uint64_t>(entry.vector));
     notify(entry.receiver);
     return cfg_.senduipiCost;
 }
@@ -118,6 +137,13 @@ UintrUnit::notify(int receiver)
             rr.blocked = false;
             rr.running = true;
             ++stats_.deliveredBlocked;
+            TimeNs lat = now - rr.pirPostedAt;
+            obs::emit(obs::EventKind::UintrWake, track(receiver), now,
+                      static_cast<std::uint64_t>(receiver), lat);
+            obs::emit(obs::EventKind::UintrDeliverBlocked,
+                      track(receiver), now,
+                      static_cast<std::uint64_t>(receiver), lat, rr.pir);
+            obs::recordTimer("uintr.delivery_blocked_ns", lat);
             if (rr.wake)
                 rr.wake(now);
             deliverNow(receiver, now);
@@ -147,8 +173,19 @@ UintrUnit::notify(int receiver)
             return;
         }
         ++stats_.deliveredRunning;
+        noteDeliveredRunning(receiver, now);
         deliverNow(receiver, now);
     });
+}
+
+void
+UintrUnit::noteDeliveredRunning(int receiver, TimeNs now)
+{
+    Receiver &r = rx(receiver);
+    TimeNs lat = now - r.pirPostedAt;
+    obs::emit(obs::EventKind::UintrDeliverRunning, track(receiver), now,
+              static_cast<std::uint64_t>(receiver), lat, r.pir);
+    obs::recordTimer("uintr.delivery_running_ns", lat);
 }
 
 void
@@ -177,6 +214,7 @@ UintrUnit::uiret(int receiver)
                 return;
             if (rr.running && rr.uifFlag && !rr.blocked) {
                 ++stats_.deliveredRunning;
+                noteDeliveredRunning(receiver, t);
                 deliverNow(receiver, t);
             }
         });
@@ -199,6 +237,7 @@ UintrUnit::setRunning(int receiver, bool running)
                     return;
                 if (rr.running && rr.uifFlag && !rr.blocked) {
                     ++stats_.deliveredRunning;
+                    noteDeliveredRunning(receiver, t);
                     deliverNow(receiver, t);
                 }
             });

@@ -148,6 +148,9 @@ class UintrUnit
         bool uifFlag = true;
         bool valid = true;
         std::uint64_t generation = 0; ///< invalidates in-flight events
+        /** Time of the SENDUIPI that posted the oldest still-pending
+         *  PIR bit; measures send-to-delivery latency (Table IV). */
+        TimeNs pirPostedAt = 0;
     };
 
     struct UittEntry
@@ -172,6 +175,9 @@ class UintrUnit
 
     /** Deliver all pending vectors to an eligible receiver now. */
     void deliverNow(int receiver, TimeNs now);
+
+    /** Trace/metrics hook for a running-receiver delivery. */
+    void noteDeliveredRunning(int receiver, TimeNs now);
 
     sim::Simulator &sim_;
     LatencyConfig cfg_;

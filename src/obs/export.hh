@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Trace and metrics exporters.
+ *
+ * writeChromeTrace() serialises a Tracer's rings as Chrome
+ * trace-event JSON ("JSON Object Format"), loadable in Perfetto
+ * (ui.perfetto.dev) or chrome://tracing: one thread track per core,
+ * one process per epoch (run), instant events carrying the record
+ * payload in args. Output is deterministic: records are gathered in
+ * ring order and stably sorted by (epoch, ts, core), timestamps are
+ * fixed-point microseconds, so same-seed simulations export
+ * byte-identical files.
+ *
+ * validateJson() is a dependency-free structural JSON checker used by
+ * tests and the CI smoke run.
+ */
+
+#ifndef PREEMPT_OBS_EXPORT_HH
+#define PREEMPT_OBS_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace preempt::obs {
+
+/** Serialise the tracer's retained records as Chrome trace JSON. */
+void writeChromeTrace(const Tracer &tracer, std::ostream &os);
+
+/** Same, to a file path (fatal on open failure). */
+void writeChromeTrace(const Tracer &tracer, const std::string &path);
+
+/** Write MetricsRegistry::toJson() to a file path. */
+void writeMetricsJson(const MetricsRegistry &registry,
+                      const std::string &path);
+
+/**
+ * Structural JSON validation (RFC 8259 value grammar; no unicode
+ * escape decoding beyond hex-digit checks).
+ * @param err when non-null, receives a short message on failure.
+ * @return true when the whole string is one valid JSON value.
+ */
+bool validateJson(const std::string &text, std::string *err = nullptr);
+
+} // namespace preempt::obs
+
+#endif // PREEMPT_OBS_EXPORT_HH

@@ -1,0 +1,170 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace preempt::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry *> g_metrics{nullptr};
+
+/** JSON-escape a metric name (names are ASCII identifiers, but be
+ *  safe about quotes/backslashes). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Render a double without locale surprises; integers stay integral. */
+std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << v;
+    return os.str();
+}
+
+void
+histJson(std::ostringstream &os, const LatencyHistogram &h)
+{
+    os << "{\"count\": " << h.count() << ", \"min\": " << h.min()
+       << ", \"max\": " << h.max() << ", \"mean\": " << num(h.mean())
+       << ", \"p50\": " << h.p50() << ", \"p90\": " << h.p90()
+       << ", \"p99\": " << h.p99() << ", \"p999\": " << h.p999() << "}";
+}
+
+} // namespace
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+TimerMetric &
+MetricsRegistry::timer(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = timers_[name];
+    if (!slot)
+        slot = std::make_unique<TimerMetric>();
+    return *slot;
+}
+
+TimerMetric &
+MetricsRegistry::timerPerCore(const std::string &name, unsigned core)
+{
+    return timer(name + "/core" + std::to_string(core));
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    for (const auto &[name, c] : counters_) {
+        sep();
+        os << "  \"" << escape(name) << "\": " << c->value();
+    }
+    for (const auto &[name, g] : gauges_) {
+        sep();
+        os << "  \"" << escape(name) << "\": " << g->value();
+    }
+
+    // Per-core families ("x/coreN") merge into a machine-wide "x".
+    std::map<std::string, LatencyHistogram> families;
+    for (const auto &[name, t] : timers_) {
+        sep();
+        LatencyHistogram h = t->histogram();
+        os << "  \"" << escape(name) << "\": ";
+        histJson(os, h);
+        auto slash = name.rfind("/core");
+        if (slash != std::string::npos)
+            families[name.substr(0, slash)].merge(h);
+    }
+    for (const auto &[name, merged] : families) {
+        sep();
+        os << "  \"" << escape(name) << "\": ";
+        histJson(os, merged);
+    }
+
+    os << "\n}\n";
+    return os.str();
+}
+
+MetricsRegistry *
+metricsRegistry() noexcept
+{
+    return g_metrics.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsRegistry(MetricsRegistry *registry) noexcept
+{
+    g_metrics.store(registry, std::memory_order_release);
+}
+
+void
+addCount(const char *name, std::uint64_t n)
+{
+    if (MetricsRegistry *m = metricsRegistry())
+        m->counter(name).add(n);
+}
+
+void
+setGauge(const char *name, std::int64_t v)
+{
+    if (MetricsRegistry *m = metricsRegistry())
+        m->gauge(name).set(v);
+}
+
+void
+recordTimer(const char *name, std::uint64_t ns)
+{
+    if (MetricsRegistry *m = metricsRegistry())
+        m->timer(name).record(ns);
+}
+
+void
+recordTimerPerCore(const char *name, unsigned core, std::uint64_t ns)
+{
+    if (MetricsRegistry *m = metricsRegistry())
+        m->timerPerCore(name, core).record(ns);
+}
+
+} // namespace preempt::obs

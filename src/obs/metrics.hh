@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Named metrics registry: counters, gauges, and histogram-backed
+ * timers, with a one-call JSON dump.
+ *
+ * Registration is by name; returned references stay valid for the
+ * registry's lifetime (values live behind unique_ptrs in a map).
+ * Per-core timers registered through timerPerCore() form a family
+ * ("name/coreN"): the JSON dump also emits the machine-wide merge of
+ * each family via LatencyHistogram::merge, which is how per-core
+ * delivery-latency quantiles become whole-run quantiles.
+ *
+ * Like tracing (obs/trace.hh), a registry is installed process-wide;
+ * the free helpers (addCount etc.) are no-ops when none is installed.
+ */
+
+#ifndef PREEMPT_OBS_METRICS_HH
+#define PREEMPT_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.hh"
+
+namespace preempt::obs {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1) noexcept
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v) noexcept
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Latency-histogram-backed timer (values in nanoseconds). */
+class TimerMetric
+{
+  public:
+    void
+    record(std::uint64_t ns)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hist_.record(ns);
+    }
+
+    /** Copy of the underlying histogram. */
+    LatencyHistogram
+    histogram() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    LatencyHistogram hist_;
+};
+
+/** The registry. Creation-by-name is thread-safe. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    TimerMetric &timer(const std::string &name);
+
+    /** Timer of a per-core family; named "<name>/core<core>". */
+    TimerMetric &timerPerCore(const std::string &name, unsigned core);
+
+    /**
+     * Dump every metric as one JSON object. Counters/gauges map to
+     * numbers; timers to {count, min, max, mean, p50, p90, p99, p999};
+     * per-core timer families additionally get a merged entry under
+     * the bare family name. Keys are sorted (deterministic output).
+     */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
+};
+
+/** Currently installed registry, or nullptr. */
+MetricsRegistry *metricsRegistry() noexcept;
+
+/** Install/uninstall the process-wide registry (caller owns it). */
+void setMetricsRegistry(MetricsRegistry *registry) noexcept;
+
+// ----- No-op-when-disabled helpers for instrumentation sites --------
+
+void addCount(const char *name, std::uint64_t n = 1);
+void setGauge(const char *name, std::int64_t v);
+void recordTimer(const char *name, std::uint64_t ns);
+void recordTimerPerCore(const char *name, unsigned core, std::uint64_t ns);
+
+} // namespace preempt::obs
+
+#endif // PREEMPT_OBS_METRICS_HH

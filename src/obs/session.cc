@@ -1,0 +1,65 @@
+#include "obs/session.hh"
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "obs/export.hh"
+
+namespace preempt::obs {
+
+Session::Session(CommandLine &cli, Options options)
+{
+    std::string level = cli.getString("log-level", "");
+    if (!level.empty())
+        setMinLogLevel(parseLogLevel(level));
+
+    traceOut_ = cli.getString("trace-out", "");
+    metricsOut_ = cli.getString("metrics-out", "");
+
+    if (!traceOut_.empty()) {
+        tracer_ = std::make_unique<Tracer>(options.tracer);
+        setTracer(tracer_.get());
+    }
+    if (!metricsOut_.empty()) {
+        metrics_ = std::make_unique<MetricsRegistry>();
+        setMetricsRegistry(metrics_.get());
+    }
+}
+
+Session::~Session()
+{
+    flush();
+    if (tracer_)
+        setTracer(nullptr);
+    if (metrics_)
+        setMetricsRegistry(nullptr);
+}
+
+void
+Session::beginRun(const std::string &name)
+{
+    if (tracer_)
+        tracer_->beginEpoch(name);
+}
+
+void
+Session::flush()
+{
+    if (flushed_)
+        return;
+    flushed_ = true;
+    if (tracer_) {
+        writeChromeTrace(*tracer_, traceOut_);
+        if (tracer_->totalDropped() || tracer_->droppedOutOfRange()) {
+            inform("trace: %llu records overwritten (drop-oldest), "
+                   "%llu dropped for out-of-range core ids",
+                   static_cast<unsigned long long>(
+                       tracer_->totalDropped()),
+                   static_cast<unsigned long long>(
+                       tracer_->droppedOutOfRange()));
+        }
+    }
+    if (metrics_)
+        writeMetricsJson(*metrics_, metricsOut_);
+}
+
+} // namespace preempt::obs

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * One-line observability wiring for bench/example binaries:
+ *
+ *   CommandLine cli(argc, argv);
+ *   obs::Session session(cli);   // consumes --trace-out, --metrics-out,
+ *                                // --log-level
+ *   ...
+ *   cli.rejectUnknown();
+ *
+ * When --trace-out and/or --metrics-out are given, the session
+ * installs a process-wide Tracer/MetricsRegistry before the workload
+ * runs and writes the Chrome trace / metrics JSON files when it is
+ * destroyed (normally at the end of main). Without those flags the
+ * session installs nothing and instrumentation stays on its
+ * disabled fast path.
+ */
+
+#ifndef PREEMPT_OBS_SESSION_HH
+#define PREEMPT_OBS_SESSION_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace preempt {
+class CommandLine;
+} // namespace preempt
+
+namespace preempt::obs {
+
+/** RAII flag parsing + exporter flush. */
+class Session
+{
+  public:
+    struct Options
+    {
+        /** Tracer shape when --trace-out is given. */
+        Tracer::Options tracer;
+    };
+
+    explicit Session(CommandLine &cli, Options options = {});
+
+    /** Flushes output files and uninstalls the globals. */
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** True when --trace-out was given. */
+    bool tracing() const { return tracer_ != nullptr; }
+
+    /** True when --metrics-out was given. */
+    bool metrics() const { return metrics_ != nullptr; }
+
+    /**
+     * Label the runs of a multi-configuration bench: each call starts
+     * a new trace epoch, which the exporter maps to its own Perfetto
+     * process. No-op when tracing is off.
+     */
+    void beginRun(const std::string &name);
+
+    /** Flush output files now (also done by the destructor). */
+    void flush();
+
+  private:
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::string traceOut_;
+    std::string metricsOut_;
+    bool flushed_ = false;
+};
+
+} // namespace preempt::obs
+
+#endif // PREEMPT_OBS_SESSION_HH

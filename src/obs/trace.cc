@@ -1,0 +1,125 @@
+#include "obs/trace.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace preempt::obs {
+
+namespace {
+
+/** Installed tracer; relaxed is enough — installation happens before
+ *  the traced run starts and uninstallation after it quiesces. */
+std::atomic<Tracer *> g_tracer{nullptr};
+
+} // namespace
+
+const char *
+kindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::EpochBegin:          return "epoch_begin";
+      case EventKind::UintrSend:           return "uintr_send";
+      case EventKind::UintrDeliverRunning: return "uintr_deliver_running";
+      case EventKind::UintrDeliverBlocked: return "uintr_deliver_blocked";
+      case EventKind::UintrWake:           return "uintr_wake";
+      case EventKind::QuantumDecision:     return "quantum_decision";
+      case EventKind::TimerArm:            return "timer_arm";
+      case EventKind::TimerFire:           return "timer_fire";
+      case EventKind::TimerCancel:         return "timer_cancel";
+      case EventKind::TimerCascade:        return "timer_cascade";
+      case EventKind::EventQueueDepth:     return "event_queue_depth";
+      case EventKind::Dispatch:            return "dispatch";
+      case EventKind::Launch:              return "launch";
+      case EventKind::Resume:              return "resume";
+      case EventKind::Preempt:             return "preempt";
+      case EventKind::Complete:            return "complete";
+      case EventKind::CancelRequest:       return "cancel_request";
+      case EventKind::Steal:               return "steal";
+      case EventKind::HandlerEnter:        return "handler_enter";
+      case EventKind::kCount:              break;
+    }
+    return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+{
+    fatal_if(capacity == 0, "trace ring needs a non-zero capacity");
+    std::size_t cap = std::bit_ceil(capacity);
+    buf_.resize(cap);
+    mask_ = cap - 1;
+}
+
+std::vector<TraceRecord>
+TraceRing::snapshot() const
+{
+    std::uint64_t w = written();
+    std::uint64_t first = w > capacity() ? w - capacity() : 0;
+    std::vector<TraceRecord> out;
+    out.reserve(static_cast<std::size_t>(w - first));
+    for (std::uint64_t i = first; i < w; ++i)
+        out.push_back(buf_[i & mask_]);
+    return out;
+}
+
+Tracer::Tracer() : Tracer(Options{}) {}
+
+Tracer::Tracer(Options options)
+{
+    fatal_if(options.cores == 0, "tracer needs at least one core ring");
+    rings_.reserve(options.cores);
+    for (std::uint32_t c = 0; c < options.cores; ++c)
+        rings_.push_back(std::make_unique<TraceRing>(
+            options.perCoreCapacity));
+    epochNames_.push_back("main");
+}
+
+std::uint32_t
+Tracer::beginEpoch(const std::string &name)
+{
+    epochNames_.push_back(name);
+    auto index = static_cast<std::uint32_t>(epochNames_.size() - 1);
+    epoch_.store(index, std::memory_order_relaxed);
+    // The marker makes the epoch visible even on otherwise idle cores.
+    record(EventKind::EpochBegin, 0, 0, index);
+    return index;
+}
+
+std::uint64_t
+Tracer::totalWritten() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : rings_)
+        sum += r->written();
+    return sum;
+}
+
+std::uint64_t
+Tracer::totalDropped() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : rings_)
+        sum += r->dropped();
+    return sum;
+}
+
+Tracer *
+tracer() noexcept
+{
+    return g_tracer.load(std::memory_order_relaxed);
+}
+
+void
+setTracer(Tracer *tracer) noexcept
+{
+    g_tracer.store(tracer, std::memory_order_release);
+}
+
+void
+beginEpoch(const std::string &name)
+{
+    if (Tracer *t = tracer())
+        t->beginEpoch(name);
+}
+
+} // namespace preempt::obs

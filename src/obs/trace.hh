@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Per-core trace rings: the repository's flight recorder.
+ *
+ * Every layer where the paper's numbers are made (UINTR delivery,
+ * quantum-controller decisions, timer fires, dispatch/preempt in the
+ * simulated and real runtimes) emits fixed-size POD records into a
+ * fixed-capacity per-core ring. Recording is allocation-free and
+ * lock-free: one relaxed fetch_add reserves a slot, plain stores fill
+ * it, so the same path is usable from the real runtime's
+ * signal/UINTR preemption handlers (async-signal-safe: lock-free
+ * atomics and stores only).
+ *
+ * The fast path when tracing is off is a single relaxed load of the
+ * global tracer pointer plus a predictable branch; compiling with
+ * -DPREEMPT_OBS_DISABLED removes even that.
+ *
+ * Timestamps are supplied by the caller: simulated subsystems pass
+ * virtual time (so same-seed runs produce byte-identical traces), the
+ * real runtime passes host nanoseconds.
+ *
+ * Overflow is drop-oldest: the ring overwrites its oldest records and
+ * keeps an exact dropped() count, so a bounded ring can run under any
+ * load and the tail of the run is always retained.
+ */
+
+#ifndef PREEMPT_OBS_TRACE_HH
+#define PREEMPT_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/time.hh"
+
+namespace preempt::obs {
+
+/**
+ * Catalog of trace event kinds. Values are part of the on-disk/golden
+ * format: append new kinds at the end, never renumber (see DESIGN.md
+ * section 8).
+ */
+enum class EventKind : std::uint16_t
+{
+    EpochBegin = 0,         ///< run marker; id = epoch index
+
+    // hw::UintrUnit
+    UintrSend = 1,          ///< SENDUIPI issued; id = receiver, a0 = vector
+    UintrDeliverRunning = 2,///< handler entry, receiver was running;
+                            ///< a0 = send-to-delivery latency ns
+    UintrDeliverBlocked = 3,///< delivery after kernel unblock;
+                            ///< a0 = send-to-delivery latency ns
+    UintrWake = 4,          ///< blocked receiver woken; a0 = latency ns
+
+    // core::QuantumController / AdaptiveQuantumDriver
+    QuantumDecision = 5,    ///< a0 = new quantum ns, a1 = Decision enum,
+                            ///< id = measured load (RPS)
+
+    // LibUtimer (simulated and real) and core::TimingWheel
+    TimerArm = 6,           ///< deadline armed; a0 = deadline ns
+    TimerFire = 7,          ///< preemption/timer fired; a0 = lateness ns
+    TimerCancel = 8,        ///< armed deadline revoked before firing
+    TimerCascade = 9,       ///< timing-wheel level cascade; a0 = entries
+
+    // sim::EventQueue
+    EventQueueDepth = 10,   ///< sampled; a0 = live events, a1 = heap size
+
+    // runtimes (simulated LibPreemptible, baselines, real runtime)
+    Dispatch = 11,          ///< request routed to a worker; a0 = worker
+    Launch = 12,            ///< fresh request starts; a0 = service ns
+    Resume = 13,            ///< preempted request resumes; a0 = remaining
+    Preempt = 14,           ///< quantum expired; a0 = executed ns,
+                            ///< a1 = remaining ns
+    Complete = 15,          ///< request finished; a0 = latency ns
+    CancelRequest = 16,     ///< SLO-hopeless request dropped
+    Steal = 17,             ///< work stolen from a peer; a0 = victim
+    HandlerEnter = 18,      ///< real preemption handler entry
+                            ///< (signal/UINTR context)
+
+    kCount
+};
+
+/** Stable lowercase name of a kind ("uintr_send", ...). */
+const char *kindName(EventKind kind);
+
+/** One trace record: 40 bytes, POD, no pointers. */
+struct TraceRecord
+{
+    std::uint64_t ts;       ///< ns: virtual (sim) or host (real runtime)
+    std::uint16_t kind;     ///< EventKind
+    std::uint16_t core;     ///< originating core / track
+    std::uint32_t epoch;    ///< run marker (Tracer::beginEpoch)
+    std::uint64_t id;       ///< thread / request / receiver id
+    std::uint64_t a0;       ///< payload word 0 (kind-specific)
+    std::uint64_t a1;       ///< payload word 1 (kind-specific)
+};
+
+static_assert(sizeof(TraceRecord) == 40, "trace record layout is part "
+                                         "of the golden format");
+static_assert(std::is_trivially_copyable_v<TraceRecord>,
+              "records must be memcpy-able from signal context");
+
+/**
+ * Fixed-capacity single-writer ring of trace records. push() is
+ * wait-free and async-signal-safe; overflow overwrites the oldest
+ * record (drop-oldest) and is counted.
+ */
+class TraceRing
+{
+  public:
+    /** @param capacity record capacity; rounded up to a power of two. */
+    explicit TraceRing(std::size_t capacity);
+
+    TraceRing(const TraceRing &) = delete;
+    TraceRing &operator=(const TraceRing &) = delete;
+
+    /** Append one record (single writer per ring). */
+    void
+    push(const TraceRecord &rec) noexcept
+    {
+        // Reserve-then-fill: a signal handler interrupting between the
+        // fetch_add and the stores writes its own slot, so the
+        // interrupted record is torn at worst, never the handler's.
+        std::uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
+        buf_[slot & mask_] = rec;
+    }
+
+    /** Records ever pushed (including overwritten ones). */
+    std::uint64_t written() const
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    /** Records lost to drop-oldest overflow. */
+    std::uint64_t
+    dropped() const
+    {
+        std::uint64_t w = written();
+        return w > capacity() ? w - capacity() : 0;
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** Retained records, oldest first. Not for use while writers run. */
+    std::vector<TraceRecord> snapshot() const;
+
+  private:
+    std::vector<TraceRecord> buf_;
+    std::uint64_t mask_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+/**
+ * The tracer: one ring per core plus run (epoch) labels. Emission is
+ * routed by core id; out-of-range cores are counted and dropped rather
+ * than clamped onto another core's track.
+ */
+class Tracer
+{
+  public:
+    struct Options
+    {
+        /** Ring count; sim core ids (dispatcher 0, workers 1..N,
+         *  timer N+1) and real worker indices must fit. */
+        std::uint32_t cores = 64;
+
+        /** Records retained per core. */
+        std::size_t perCoreCapacity = std::size_t{1} << 16;
+    };
+
+    Tracer(); ///< default Options (out of line: NSDMIs of a nested
+              ///< class are not usable in in-class default arguments)
+    explicit Tracer(Options options);
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Record one event. Wait-free, async-signal-safe. */
+    void
+    record(EventKind kind, std::uint32_t core, std::uint64_t ts,
+           std::uint64_t id, std::uint64_t a0 = 0,
+           std::uint64_t a1 = 0) noexcept
+    {
+        if (core >= rings_.size()) {
+            droppedOutOfRange_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        TraceRecord rec;
+        rec.ts = ts;
+        rec.kind = static_cast<std::uint16_t>(kind);
+        rec.core = static_cast<std::uint16_t>(core);
+        rec.epoch = epoch_.load(std::memory_order_relaxed);
+        rec.id = id;
+        rec.a0 = a0;
+        rec.a1 = a1;
+        rings_[core]->push(rec);
+    }
+
+    /**
+     * Start a new epoch (one per run/configuration in a multi-run
+     * bench); subsequent records carry its index and the exporter maps
+     * each epoch to its own Perfetto process. Not signal-safe.
+     * @return the new epoch index.
+     */
+    std::uint32_t beginEpoch(const std::string &name);
+
+    std::uint32_t cores() const
+    {
+        return static_cast<std::uint32_t>(rings_.size());
+    }
+
+    const TraceRing &ring(std::uint32_t core) const
+    {
+        return *rings_[core];
+    }
+
+    /** Epoch labels; index = epoch id. Epoch 0 is "main". */
+    const std::vector<std::string> &epochNames() const
+    {
+        return epochNames_;
+    }
+
+    /** Sum of records pushed across all rings. */
+    std::uint64_t totalWritten() const;
+
+    /** Sum of drop-oldest losses across all rings. */
+    std::uint64_t totalDropped() const;
+
+    /** Records rejected for an out-of-range core id. */
+    std::uint64_t
+    droppedOutOfRange() const
+    {
+        return droppedOutOfRange_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<std::unique_ptr<TraceRing>> rings_;
+    std::atomic<std::uint32_t> epoch_{0};
+    std::vector<std::string> epochNames_;
+    std::atomic<std::uint64_t> droppedOutOfRange_{0};
+};
+
+/** Currently installed tracer, or nullptr (tracing off). */
+Tracer *tracer() noexcept;
+
+/**
+ * Install/uninstall the process-wide tracer. The caller keeps
+ * ownership and must uninstall (setTracer(nullptr)) before destroying
+ * it. Instrumented objects must not emit after that.
+ */
+void setTracer(Tracer *tracer) noexcept;
+
+/** Begin an epoch on the installed tracer; no-op when tracing is off. */
+void beginEpoch(const std::string &name);
+
+/**
+ * The emission fast path used by instrumentation sites. Disabled
+ * builds (-DPREEMPT_OBS_DISABLED) compile to nothing; enabled builds
+ * pay one relaxed load and a predictable branch when no tracer is
+ * installed.
+ */
+inline void
+emit(EventKind kind, std::uint32_t core, std::uint64_t ts,
+     std::uint64_t id, std::uint64_t a0 = 0, std::uint64_t a1 = 0) noexcept
+{
+#ifdef PREEMPT_OBS_DISABLED
+    (void)kind; (void)core; (void)ts; (void)id; (void)a0; (void)a1;
+#else
+    Tracer *t = tracer();
+    if (t) [[unlikely]]
+        t->record(kind, core, ts, id, a0, a1);
+#endif
+}
+
+/** True when a tracer is installed (for gating costlier payload prep). */
+inline bool
+tracing() noexcept
+{
+#ifdef PREEMPT_OBS_DISABLED
+    return false;
+#else
+    return tracer() != nullptr;
+#endif
+}
+
+} // namespace preempt::obs
+
+#endif // PREEMPT_OBS_TRACE_HH

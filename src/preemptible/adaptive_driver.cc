@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "preemptible/hosttime.hh"
 
 namespace preempt::runtime {
@@ -76,6 +78,15 @@ AdaptiveQuantumDriver::step()
     }
 
     TimeNs q = controller_.step(in);
+    obs::emit(obs::EventKind::QuantumDecision, 0, hostNowNs(),
+              static_cast<std::uint64_t>(in.loadRps), q,
+              (static_cast<std::uint64_t>(controller_.lastDecision())
+               << 32) |
+                  static_cast<std::uint64_t>(std::min<std::size_t>(
+                      in.maxQueueLen, 0xffffffff)));
+    obs::addCount("adaptive_driver.steps");
+    obs::setGauge("adaptive_driver.quantum_ns",
+                  static_cast<std::int64_t>(q));
     runtime_.setQuantum(q);
     decisions_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "preemptible/hosttime.hh"
 
 namespace preempt::runtime {
@@ -45,6 +46,10 @@ preemptionHandler(int)
         return;
     }
     tl_worker.inRegion = 0;
+    // obs::emit is async-signal-safe: one relaxed load plus wait-free
+    // ring stores (a1 distinguishes the signal path from UINTR).
+    obs::emit(obs::EventKind::HandlerEnter, 0, hostNowNs(),
+              tl_worker.preemptions, 0, 1);
     fcontext::Transfer t = preempt_jump_fcontext(
         tl_worker.schedulerCtx,
         reinterpret_cast<void *>(kMarkPreempted));

@@ -1,6 +1,8 @@
 #include "preemptible/runtime.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "preemptible/hosttime.hh"
 
 namespace preempt::runtime {
@@ -34,8 +36,12 @@ PreemptibleRuntime::submit(std::function<void()> body, int cls)
     task->cls = cls;
     task->submitNs = hostNowNs();
 
-    std::size_t target =
-        rrNext_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    std::uint64_t slot = rrNext_.fetch_add(1, std::memory_order_relaxed);
+    task->id = slot;
+    std::size_t target = slot % queues_.size();
+    obs::emit(obs::EventKind::Dispatch,
+              static_cast<std::uint32_t>(target), task->submitNs,
+              task->id, static_cast<std::uint64_t>(cls));
     // SpscRing is single-producer; serialise multi-threaded submitters.
     static std::mutex submit_mutex;
     std::lock_guard<std::mutex> lock(submit_mutex);
@@ -57,7 +63,7 @@ PreemptibleRuntime::workerMain(int index)
         // Policy #1: new tasks take priority over preempted ones.
         TaskRecord *raw = nullptr;
         if (queue.pop(raw)) {
-            runTask(std::unique_ptr<TaskRecord>(raw));
+            runTask(index, std::unique_ptr<TaskRecord>(raw));
             continue;
         }
         std::unique_ptr<TaskRecord> parked;
@@ -69,7 +75,7 @@ PreemptibleRuntime::workerMain(int index)
             }
         }
         if (parked) {
-            runTask(std::move(parked));
+            runTask(index, std::move(parked));
             continue;
         }
         if (stopping_.load(std::memory_order_acquire) &&
@@ -90,11 +96,15 @@ PreemptibleRuntime::workerMain(int index)
 }
 
 void
-PreemptibleRuntime::runTask(std::unique_ptr<TaskRecord> task)
+PreemptibleRuntime::runTask(int worker, std::unique_ptr<TaskRecord> task)
 {
     FnStatus status;
     TimeNs slice = quantum_.load(std::memory_order_relaxed);
-    if (!task->fn) {
+    std::uint32_t track = static_cast<std::uint32_t>(worker);
+    bool fresh = !task->fn;
+    obs::emit(fresh ? obs::EventKind::Launch : obs::EventKind::Resume,
+              track, hostNowNs(), task->id, slice);
+    if (fresh) {
         task->fn = std::make_unique<PreemptibleFn>(task->body);
         status = fn_launch(*task->fn, slice);
     } else {
@@ -104,6 +114,11 @@ PreemptibleRuntime::runTask(std::unique_ptr<TaskRecord> task)
     if (status == FnStatus::Completed) {
         task->finishNs = hostNowNs();
         TimeNs sojourn = task->finishNs - task->submitNs;
+        obs::emit(obs::EventKind::Complete, track, task->finishNs,
+                  task->id, sojourn,
+                  static_cast<std::uint64_t>(task->cls));
+        obs::recordTimerPerCore("runtime.sojourn_ns",
+                                static_cast<unsigned>(worker), sojourn);
         {
             std::lock_guard<std::mutex> lock(statsMutex_);
             (task->cls == 0 ? lcLatency_ : beLatency_).record(sojourn);
@@ -115,6 +130,9 @@ PreemptibleRuntime::runTask(std::unique_ptr<TaskRecord> task)
 
     // Preempted or yielded: park on the shared long queue.
     preemptions_.fetch_add(1, std::memory_order_relaxed);
+    obs::emit(obs::EventKind::Preempt, track, hostNowNs(), task->id,
+              slice);
+    obs::addCount("runtime.preemptions");
     std::lock_guard<std::mutex> lock(longMutex_);
     longQueue_.push_back(std::move(task));
 }

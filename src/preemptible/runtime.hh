@@ -39,6 +39,7 @@ struct TaskRecord
 {
     std::function<void()> body;
     int cls = 0;              ///< 0 = latency-critical, 1 = best-effort
+    std::uint64_t id = 0;     ///< submission order, for tracing
     TimeNs submitNs = 0;
     TimeNs finishNs = 0;
     std::unique_ptr<PreemptibleFn> fn; ///< bound when first launched
@@ -125,7 +126,7 @@ class PreemptibleRuntime
     void workerMain(int index);
 
     /** Run one task until completion, preempting per quantum. */
-    void runTask(std::unique_ptr<TaskRecord> task);
+    void runTask(int worker, std::unique_ptr<TaskRecord> task);
 
     Options options_;
     UTimer timer_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "preemptible/hosttime.hh"
 #include "preemptible/uintr_syscalls.hh"
 
@@ -82,6 +83,14 @@ UTimer::timerLoop()
                 if (slot.deadline.compare_exchange_strong(dl, kTimeNever)) {
                     slot.fires.fetch_add(1, std::memory_order_relaxed);
                     firesTotal_.fetch_add(1, std::memory_order_relaxed);
+                    // a0 = lateness of the scan past the deadline; the
+                    // slot index stands in for the target thread.
+                    obs::emit(obs::EventKind::TimerFire,
+                              static_cast<std::uint32_t>(&slot -
+                                                         slots_.data()),
+                              now, firesTotal_.load(
+                                       std::memory_order_relaxed),
+                              now - std::min(dl, now));
                     long uipi =
                         slot.uipiIndex.load(std::memory_order_acquire);
                     if (usingUintr_ && uipi >= 0)

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace preempt::runtime_sim {
 
@@ -25,6 +27,7 @@ LibPreemptibleSim::LibPreemptibleSim(sim::Simulator &sim,
     fatal_if(config_.nWorkers <= 0, "need at least one worker");
     machine_.setRole(0, hw::CoreRole::Dispatcher);
     machine_.setRole(config_.nWorkers + 1, hw::CoreRole::Timer);
+    utimer_.setTraceCore(static_cast<unsigned>(config_.nWorkers + 1));
 
     quantum_ = config_.adaptive ? controller_.quantum() : config_.quantum;
 
@@ -79,6 +82,9 @@ void
 LibPreemptibleSim::enqueue(Request &req, TimeNs now)
 {
     req.readyAt = now;
+    // a0 = instantaneous dispatcher backlog (requests not yet running).
+    obs::emit(obs::EventKind::Dispatch, 0, now, req.id,
+              admitted_ - finished_);
     if (config_.centralQueue) {
         central_.pushBack(&req);
         for (auto &w : workers_) {
@@ -176,6 +182,10 @@ LibPreemptibleSim::pickNext(Worker &w, TimeNs now)
         if (victim) {
             req = victim->local.popFront();
             fresh = true;
+            obs::emit(obs::EventKind::Steal,
+                      static_cast<std::uint32_t>(w.id + 1), now, req->id,
+                      static_cast<std::uint64_t>(victim->id));
+            obs::addCount("libpreemptible.steals");
             TimeNs cost = cfg_.libingerLockHold;
             metrics_.addPreemptionOverhead(cost);
             machine_.addBusy(w.id + 1, cost);
@@ -194,6 +204,10 @@ LibPreemptibleSim::pickNext(Worker &w, TimeNs now)
         while (req != nullptr &&
                now - req->arrival > config_.requestDeadline) {
             ++finished_;
+            obs::emit(obs::EventKind::CancelRequest,
+                      static_cast<std::uint32_t>(w.id + 1), now, req->id,
+                      now - req->arrival);
+            obs::addCount("libpreemptible.cancellations");
             metrics_.onCancellation(*req);
             req = nullptr;
             fresh = true;
@@ -224,6 +238,9 @@ LibPreemptibleSim::startSegment(Worker &w, Request &req, TimeNs now,
         ++w.launches;
     else
         ++w.resumes;
+    obs::emit(fresh ? obs::EventKind::Launch : obs::EventKind::Resume,
+              static_cast<std::uint32_t>(w.id + 1), now, req.id,
+              req.remaining, quantum_);
 
     // fn_launch allocates a context from the free list; fn_resume just
     // switches to the saved one. Both pay the user context switch and
@@ -269,6 +286,7 @@ LibPreemptibleSim::startSegment(Worker &w, Request &req, TimeNs now,
     } else {
         int id = w.id;
         TimeNs worker_ovh = plan.workerOverhead;
+        w.fireNoticed = plan.noticed;
         w.event = sim_.at(plan.handlerEntry,
                           [this, id, worker_ovh](TimeNs t) {
             onPreemption(workers_[static_cast<std::size_t>(id)], t,
@@ -293,6 +311,12 @@ LibPreemptibleSim::onCompletion(Worker &w, TimeNs now)
     ++finished_;
     ++freeContexts_; // context returns to the global free list
 
+    obs::emit(obs::EventKind::Complete,
+              static_cast<std::uint32_t>(w.id + 1), now, req->id,
+              req->latency(), req->preemptions);
+    obs::recordTimerPerCore("libpreemptible.latency_ns",
+                            static_cast<unsigned>(w.id + 1),
+                            req->latency());
     metrics_.onCompletion(*req);
     statsWindow_.onCompletion(now, req->latency(), req->service);
     if (config_.completionHook)
@@ -317,11 +341,34 @@ LibPreemptibleSim::onPreemption(Worker &w, TimeNs now,
     w.current = nullptr;
     w.event = sim::kInvalidEvent;
 
+    // The quantum expired: the timer core's deadline scan fired and
+    // the worker's handler just gained control.
+    obs::emit(obs::EventKind::TimerFire, utimer_.traceCore(), now,
+              req->id, worker_overhead);
+    obs::addCount("utimer.fires");
+    if (config_.delivery == TimerDelivery::Uintr) {
+        // The fire plan models SENDUIPI at the notice time and handler
+        // entry after the sampled delivery latency; surface that
+        // pipeline on the uintr tracks (a0 = send-to-entry latency).
+        obs::emit(obs::EventKind::UintrSend, utimer_.traceCore(),
+                  w.fireNoticed, static_cast<std::uint64_t>(w.id));
+        obs::emit(obs::EventKind::UintrDeliverRunning,
+                  static_cast<std::uint32_t>(w.id + 1), now,
+                  static_cast<std::uint64_t>(w.id),
+                  now - std::min(w.fireNoticed, now));
+        obs::recordTimer("uintr.delivery_running_ns",
+                         now - std::min(w.fireNoticed, now));
+    }
+
     TimeNs executed = now - w.segStart;
     panic_if(executed >= req->remaining,
              "preempted a request that should have completed");
     req->remaining -= executed;
     ++req->preemptions;
+    obs::emit(obs::EventKind::Preempt,
+              static_cast<std::uint32_t>(w.id + 1), now, req->id,
+              executed, req->remaining);
+    obs::addCount("libpreemptible.preemptions");
     metrics_.addExecution(executed);
     metrics_.addPreemptionOverhead(worker_overhead);
     machine_.addBusy(w.id + 1, executed + worker_overhead);
@@ -377,6 +424,18 @@ LibPreemptibleSim::controllerStep(TimeNs now)
     in.maxQueueLen = std::max(maxLocalQueueLen(), globalRunning_.size());
     in.tailIndex = statsWindow_.tailIndex();
     quantum_ = controller_.step(in);
+    // One record per control decision, with its inputs: id = measured
+    // load (rps), a0 = the new quantum, a1 = (decision bits << 32) |
+    // max queue length.
+    obs::emit(obs::EventKind::QuantumDecision, 0, now,
+              static_cast<std::uint64_t>(in.loadRps), quantum_,
+              (static_cast<std::uint64_t>(controller_.lastDecision())
+               << 32) |
+                  static_cast<std::uint64_t>(
+                      std::min<std::size_t>(in.maxQueueLen, 0xffffffff)));
+    obs::addCount("controller.steps");
+    obs::setGauge("controller.quantum_ns",
+                  static_cast<std::int64_t>(quantum_));
     if (config_.quantumHook)
         config_.quantumHook(now, quantum_);
 }

@@ -157,6 +157,9 @@ class LibPreemptibleSim : public ServerModel
          *  segment. Generation-tagged, so holding it past the fire is
          *  safe: a stale cancel would be a no-op. */
         sim::EventId event = sim::kInvalidEvent;
+        /** When the timer core noticed the running segment's expired
+         *  deadline (FirePlan::noticed); traces the SENDUIPI time. */
+        TimeNs fireNoticed = 0;
         bool idle = true;
         bool wakePending = false;
         std::uint64_t launches = 0;

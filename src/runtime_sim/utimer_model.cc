@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace preempt::runtime_sim {
 
@@ -78,6 +80,13 @@ UTimerModel::planFire(TimeNs deadline)
     plan.timerCoreCost = send_cost;
     ++fires_;
     timerBusy_ += plan.timerCoreCost;
+    // a0 = notice lag off the poll grid, a1 = send+delivery pipeline.
+    obs::emit(obs::EventKind::TimerArm, traceCore_, sim_.now(), fires_,
+              plan.noticed - plan.deadline,
+              plan.handlerEntry - plan.noticed);
+    obs::addCount("utimer.arms");
+    obs::recordTimer("utimer.notice_to_handler_ns",
+                     plan.handlerEntry - plan.noticed);
     return plan;
 }
 
@@ -87,6 +96,9 @@ UTimerModel::cancel(const FirePlan &plan)
     if (fires_ > 0)
         --fires_;
     timerBusy_ -= std::min(timerBusy_, plan.timerCoreCost);
+    obs::emit(obs::EventKind::TimerCancel, traceCore_, sim_.now(), 0,
+              plan.deadline);
+    obs::addCount("utimer.cancels");
 }
 
 void
@@ -126,6 +138,12 @@ UTimerModel::startPeriodic(int slot, TimeNs interval,
                 // be in flight when stopPeriodic() cancels the chain.
                 if (!s.periodic || s.generation != next.gen)
                     return;
+                // a0 = jitter: handler entry past the nominal target.
+                obs::emit(obs::EventKind::TimerFire,
+                          next.self->traceCore_, now,
+                          static_cast<std::uint64_t>(next.slot),
+                          now - std::min(target, now));
+                obs::addCount("utimer.periodic_fires");
                 s.handler(now);
                 next.arm(target + next.interval);
             });

@@ -112,6 +112,11 @@ class UTimerModel
     /** Count of fires planned/delivered so far. */
     std::uint64_t fires() const { return fires_; }
 
+    /** Trace track (machine core id) of the timer core; the owning
+     *  runtime knows the topology, the model does not. */
+    void setTraceCore(unsigned core) { traceCore_ = core; }
+    unsigned traceCore() const { return traceCore_; }
+
     /** Cumulative timer-core CPU cost. */
     TimeNs timerCoreBusy() const { return timerBusy_; }
 
@@ -142,6 +147,7 @@ class UTimerModel
     std::vector<Slot> slots_;
     std::uint64_t fires_;
     TimeNs timerBusy_;
+    unsigned traceCore_ = 0;
 };
 
 } // namespace preempt::runtime_sim

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace preempt::sim {
 
 namespace {
+
+// Queue-depth sampling period (power of two): every 1024th schedule
+// emits one obs::EventQueueDepth record. Folded into the existing
+// scheduled_ increment so the disabled path pays one test-and-branch.
+constexpr std::uint64_t kDepthSampleMask = 1023;
 
 // Implicit 4-ary min-heap over (when, seq). A wider node halves the
 // tree depth versus a binary heap and keeps the four children of a
@@ -97,6 +104,9 @@ EventQueue::scheduleErased(TimeNs when, EventCallback cb)
     EventId id = makeId(index, slot.gen);
     heap_.push_back(HeapEntry{when, scheduled_, id});
     siftUp(heap_, heap_.size() - 1);
+    if ((scheduled_ & kDepthSampleMask) == 0) [[unlikely]]
+        obs::emit(obs::EventKind::EventQueueDepth, 0, when, scheduled_,
+                  live_, heap_.size());
     return id;
 }
 

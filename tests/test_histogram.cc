@@ -137,6 +137,70 @@ TEST(Histogram, MergeCombines)
     EXPECT_EQ(a.count(), before);
 }
 
+TEST(Histogram, MergeIntoEmptyEqualsCopy)
+{
+    LatencyHistogram a, b;
+    b.record(100);
+    b.record(2000);
+    b.record(30000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+    EXPECT_EQ(a.p50(), b.p50());
+    EXPECT_EQ(a.p99(), b.p99());
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Histogram, MergeBothEmptyStaysEmpty)
+{
+    LatencyHistogram a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.min(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+    EXPECT_EQ(a.p999(), 0u);
+}
+
+TEST(Histogram, MergeMismatchedRangesMatchesSingleHistogram)
+{
+    // Operands populate disjoint octaves (nanoseconds vs seconds);
+    // merging must agree with recording everything into one histogram.
+    LatencyHistogram low, high, all;
+    for (std::uint64_t v = 1; v <= 64; ++v) {
+        low.record(v);
+        all.record(v);
+    }
+    for (std::uint64_t v = 1; v <= 16; ++v) {
+        high.record(v * 1'000'000'000ULL);
+        all.record(v * 1'000'000'000ULL);
+    }
+    low.merge(high);
+    EXPECT_EQ(low.count(), all.count());
+    EXPECT_EQ(low.min(), all.min());
+    EXPECT_EQ(low.max(), all.max());
+    for (double q : {0.1, 0.5, 0.9, 0.99, 0.999})
+        EXPECT_EQ(low.quantile(q), all.quantile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(low.mean(), all.mean());
+    EXPECT_NEAR(low.fractionAbove(1000), all.fractionAbove(1000), 1e-12);
+}
+
+TEST(Histogram, MergeIsCommutativeOnQuantiles)
+{
+    LatencyHistogram ab, ba, a1, b1;
+    a1.record(10, 100);
+    b1.record(100000, 5);
+    ab = a1;
+    ab.merge(b1);
+    ba = b1;
+    ba.merge(a1);
+    EXPECT_EQ(ab.count(), ba.count());
+    EXPECT_EQ(ab.p50(), ba.p50());
+    EXPECT_EQ(ab.p999(), ba.p999());
+    EXPECT_EQ(ab.min(), ba.min());
+    EXPECT_EQ(ab.max(), ba.max());
+}
+
 TEST(Histogram, ResetClears)
 {
     LatencyHistogram h;

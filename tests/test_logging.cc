@@ -30,6 +30,92 @@ TEST(Logging, InformToggle)
     EXPECT_TRUE(informEnabled());
 }
 
+TEST(Logging, ParseLogLevelAcceptsAliases)
+{
+    EXPECT_EQ(parseLogLevel("inform"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("warning"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Fatal);
+    EXPECT_EQ(parseLogLevel("quiet"), LogLevel::Fatal);
+}
+
+TEST(LoggingDeath, ParseLogLevelRejectsGarbage)
+{
+    EXPECT_EXIT(parseLogLevel("loud"), testing::ExitedWithCode(1),
+                "log-level");
+}
+
+TEST(Logging, MinLevelGatesInformAndWarn)
+{
+    setMinLogLevel(LogLevel::Inform);
+    testing::internal::CaptureStderr();
+    inform("visible inform");
+    warn("visible warn");
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("visible inform"), std::string::npos);
+    EXPECT_NE(out.find("visible warn"), std::string::npos);
+
+    setMinLogLevel(LogLevel::Warn);
+    testing::internal::CaptureStderr();
+    inform("hidden inform");
+    warn("still visible warn");
+    out = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("hidden inform"), std::string::npos);
+    EXPECT_NE(out.find("still visible warn"), std::string::npos);
+
+    setMinLogLevel(LogLevel::Fatal);
+    testing::internal::CaptureStderr();
+    inform("hidden inform");
+    warn("hidden warn");
+    out = testing::internal::GetCapturedStderr();
+    EXPECT_TRUE(out.empty()) << out;
+
+    setMinLogLevel(LogLevel::Inform);
+}
+
+TEST(Logging, WarnOnceFiresExactlyOnce)
+{
+    setMinLogLevel(LogLevel::Inform);
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 5; ++i)
+        warn_once("once only %d", i);
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("once only 0"), std::string::npos);
+    EXPECT_EQ(out.find("once only 1"), std::string::npos);
+    // Exactly one warn line.
+    std::size_t first = out.find("warn:");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(out.find("warn:", first + 1), std::string::npos);
+}
+
+TEST(Logging, WarnEveryNFiresOnFirstAndEveryNth)
+{
+    setMinLogLevel(LogLevel::Inform);
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 7; ++i)
+        warn_every_n(3, "tick %d", i);
+    std::string out = testing::internal::GetCapturedStderr();
+    // Occurrences 0, 3, 6 report; the rest are suppressed.
+    EXPECT_NE(out.find("tick 0"), std::string::npos);
+    EXPECT_EQ(out.find("tick 1"), std::string::npos);
+    EXPECT_EQ(out.find("tick 2"), std::string::npos);
+    EXPECT_NE(out.find("tick 3"), std::string::npos);
+    EXPECT_EQ(out.find("tick 4"), std::string::npos);
+    EXPECT_NE(out.find("tick 6"), std::string::npos);
+}
+
+TEST(Logging, WarnOnceSitesAreIndependent)
+{
+    setMinLogLevel(LogLevel::Inform);
+    testing::internal::CaptureStderr();
+    warn_once("site A");
+    warn_once("site B"); // distinct call site: its own static flag
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("site A"), std::string::npos);
+    EXPECT_NE(out.find("site B"), std::string::npos);
+}
+
 TEST(LoggingDeath, PanicAborts)
 {
     EXPECT_DEATH(panic("boom %d", 1), "boom 1");

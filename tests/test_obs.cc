@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for the obs:: tracing + metrics subsystem: ring semantics,
+ * the kind catalog and record layout (golden format), exporter output
+ * (valid + byte-deterministic JSON), the metrics registry, and the
+ * Session CLI wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "hw/latency_config.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/session.hh"
+#include "obs/trace.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace preempt {
+namespace {
+
+using obs::EventKind;
+using obs::TraceRecord;
+using obs::TraceRing;
+using obs::Tracer;
+
+TraceRecord
+rec(std::uint64_t ts, EventKind kind = EventKind::Dispatch,
+    std::uint64_t id = 0)
+{
+    TraceRecord r{};
+    r.ts = ts;
+    r.kind = static_cast<std::uint16_t>(kind);
+    r.id = id;
+    return r;
+}
+
+// ----- ring ---------------------------------------------------------
+
+TEST(TraceRing, RetainsEverythingBelowCapacity)
+{
+    TraceRing ring(8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ring.push(rec(i));
+    EXPECT_EQ(ring.written(), 5u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    auto snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(snap[i].ts, i);
+}
+
+TEST(TraceRing, DropOldestKeepsTailAndCountsDrops)
+{
+    TraceRing ring(8);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        ring.push(rec(i));
+    EXPECT_EQ(ring.written(), 20u);
+    EXPECT_EQ(ring.dropped(), 12u);
+    auto snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 8u);
+    // The retained window is the most recent 8, oldest first.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(snap[i].ts, 12 + i);
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo)
+{
+    TraceRing ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+}
+
+// ----- tracer -------------------------------------------------------
+
+TEST(TracerTest, RoutesByCoreAndDropsOutOfRange)
+{
+    Tracer::Options opt;
+    opt.cores = 2;
+    opt.perCoreCapacity = 16;
+    Tracer t(opt);
+    t.record(EventKind::Dispatch, 0, 10, 1);
+    t.record(EventKind::Launch, 1, 20, 2);
+    t.record(EventKind::Launch, 7, 30, 3); // no ring 7
+    EXPECT_EQ(t.ring(0).written(), 1u);
+    EXPECT_EQ(t.ring(1).written(), 1u);
+    EXPECT_EQ(t.totalWritten(), 2u);
+    EXPECT_EQ(t.droppedOutOfRange(), 1u);
+}
+
+TEST(TracerTest, EpochsTagRecordsAndKeepNames)
+{
+    Tracer t;
+    t.record(EventKind::Dispatch, 0, 1, 0);
+    EXPECT_EQ(t.beginEpoch("second run"), 1u);
+    t.record(EventKind::Dispatch, 0, 2, 0);
+    auto snap = t.ring(0).snapshot();
+    // dispatch@epoch0, epoch marker, dispatch@epoch1
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].epoch, 0u);
+    EXPECT_EQ(snap[1].kind,
+              static_cast<std::uint16_t>(EventKind::EpochBegin));
+    EXPECT_EQ(snap[2].epoch, 1u);
+    ASSERT_EQ(t.epochNames().size(), 2u);
+    EXPECT_EQ(t.epochNames()[0], "main");
+    EXPECT_EQ(t.epochNames()[1], "second run");
+}
+
+TEST(TracerTest, GlobalEmitIsNoOpWithoutInstalledTracer)
+{
+    ASSERT_EQ(obs::tracer(), nullptr);
+    obs::emit(EventKind::Dispatch, 0, 1, 2); // must not crash
+    EXPECT_FALSE(obs::tracing());
+
+    Tracer t;
+    obs::setTracer(&t);
+#ifndef PREEMPT_OBS_DISABLED
+    EXPECT_TRUE(obs::tracing());
+#endif
+    obs::emit(EventKind::Dispatch, 0, 1, 2);
+    obs::setTracer(nullptr);
+#ifndef PREEMPT_OBS_DISABLED
+    EXPECT_EQ(t.totalWritten(), 1u);
+#endif
+}
+
+// ----- golden format ------------------------------------------------
+
+TEST(TraceGolden, RecordLayoutIsStable)
+{
+    EXPECT_EQ(sizeof(TraceRecord), 40u);
+    EXPECT_EQ(offsetof(TraceRecord, ts), 0u);
+    EXPECT_EQ(offsetof(TraceRecord, kind), 8u);
+    EXPECT_EQ(offsetof(TraceRecord, core), 10u);
+    EXPECT_EQ(offsetof(TraceRecord, epoch), 12u);
+    EXPECT_EQ(offsetof(TraceRecord, id), 16u);
+    EXPECT_EQ(offsetof(TraceRecord, a0), 24u);
+    EXPECT_EQ(offsetof(TraceRecord, a1), 32u);
+}
+
+TEST(TraceGolden, KindCatalogValuesAndNamesAreStable)
+{
+    // Append-only catalog: these pairs are part of the trace format
+    // (DESIGN.md section 8). Renumbering breaks saved traces.
+    const std::pair<EventKind, const char *> kCatalog[] = {
+        {EventKind::EpochBegin, "epoch_begin"},
+        {EventKind::UintrSend, "uintr_send"},
+        {EventKind::UintrDeliverRunning, "uintr_deliver_running"},
+        {EventKind::UintrDeliverBlocked, "uintr_deliver_blocked"},
+        {EventKind::UintrWake, "uintr_wake"},
+        {EventKind::QuantumDecision, "quantum_decision"},
+        {EventKind::TimerArm, "timer_arm"},
+        {EventKind::TimerFire, "timer_fire"},
+        {EventKind::TimerCancel, "timer_cancel"},
+        {EventKind::TimerCascade, "timer_cascade"},
+        {EventKind::EventQueueDepth, "event_queue_depth"},
+        {EventKind::Dispatch, "dispatch"},
+        {EventKind::Launch, "launch"},
+        {EventKind::Resume, "resume"},
+        {EventKind::Preempt, "preempt"},
+        {EventKind::Complete, "complete"},
+        {EventKind::CancelRequest, "cancel_request"},
+        {EventKind::Steal, "steal"},
+        {EventKind::HandlerEnter, "handler_enter"},
+    };
+    std::uint16_t expected = 0;
+    for (const auto &[kind, name] : kCatalog) {
+        EXPECT_EQ(static_cast<std::uint16_t>(kind), expected)
+            << "kind " << name << " was renumbered";
+        EXPECT_STREQ(obs::kindName(kind), name);
+        ++expected;
+    }
+    EXPECT_EQ(static_cast<std::uint16_t>(EventKind::kCount), expected)
+        << "new kinds must be appended to this catalog test";
+}
+
+TEST(TraceGolden, ExporterOutputForTinyTrace)
+{
+    Tracer::Options opt;
+    opt.cores = 2;
+    opt.perCoreCapacity = 8;
+    Tracer t(opt);
+    t.record(EventKind::Dispatch, 0, 1500, 7, 1, 2);
+    t.record(EventKind::Launch, 1, 2001, 7);
+    std::ostringstream os;
+    obs::writeChromeTrace(t, os);
+    EXPECT_EQ(os.str(),
+              "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n"
+              "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0,"
+              " \"args\": {\"name\": \"main\"}},\n"
+              "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0,"
+              " \"tid\": 0, \"args\": {\"name\": \"core 0\"}},\n"
+              "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0,"
+              " \"tid\": 1, \"args\": {\"name\": \"core 1\"}},\n"
+              "  {\"name\": \"dispatch\", \"ph\": \"i\", \"s\": \"t\","
+              " \"pid\": 0, \"tid\": 0, \"ts\": 1.500,"
+              " \"args\": {\"id\": 7, \"a0\": 1, \"a1\": 2}},\n"
+              "  {\"name\": \"launch\", \"ph\": \"i\", \"s\": \"t\","
+              " \"pid\": 0, \"tid\": 1, \"ts\": 2.001,"
+              " \"args\": {\"id\": 7, \"a0\": 0, \"a1\": 0}}\n"
+              "]}\n");
+    std::string err;
+    EXPECT_TRUE(obs::validateJson(os.str(), &err)) << err;
+}
+
+// ----- validator ----------------------------------------------------
+
+TEST(ValidateJson, AcceptsValidDocuments)
+{
+    for (const char *ok :
+         {"{}", "[]", "null", "true", "-0.5e+3", "\"s\"",
+          "{\"a\": [1, 2.5, {\"b\": null}], \"c\": \"x\\n\\u00ff\"}",
+          "  [ 1 , 2 ]  "}) {
+        std::string err;
+        EXPECT_TRUE(obs::validateJson(ok, &err)) << ok << ": " << err;
+    }
+}
+
+TEST(ValidateJson, RejectsInvalidDocuments)
+{
+    for (const char *bad :
+         {"", "{", "}", "[1,]", "{\"a\":}", "{a: 1}", "01", "1.",
+          "\"unterminated", "\"bad\\x\"", "[1] trailing", "nul",
+          "{\"a\": 1,}"}) {
+        EXPECT_FALSE(obs::validateJson(bad)) << bad;
+    }
+}
+
+// ----- metrics ------------------------------------------------------
+
+TEST(Metrics, RegistryCountersGaugesTimers)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("c").add(3);
+    reg.counter("c").add();
+    reg.gauge("g").set(-7);
+    reg.timer("t").record(1000);
+    EXPECT_EQ(reg.counter("c").value(), 4u);
+    EXPECT_EQ(reg.gauge("g").value(), -7);
+    EXPECT_EQ(reg.timer("t").histogram().count(), 1u);
+}
+
+TEST(Metrics, JsonIsValidAndMergesPerCoreFamilies)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("requests").add(2);
+    reg.timerPerCore("lat", 0).record(100);
+    reg.timerPerCore("lat", 1).record(200000);
+    std::string json = reg.toJson();
+    std::string err;
+    EXPECT_TRUE(obs::validateJson(json, &err)) << err;
+    EXPECT_NE(json.find("\"requests\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"lat/core0\""), std::string::npos);
+    EXPECT_NE(json.find("\"lat/core1\""), std::string::npos);
+    // Machine-wide merge of the family appears under the bare name.
+    EXPECT_NE(json.find("\"lat\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+}
+
+TEST(Metrics, HelpersAreNoOpsWithoutRegistry)
+{
+    ASSERT_EQ(obs::metricsRegistry(), nullptr);
+    obs::addCount("x");
+    obs::setGauge("x", 1);
+    obs::recordTimer("x", 1);
+    obs::recordTimerPerCore("x", 0, 1);
+
+    obs::MetricsRegistry reg;
+    obs::setMetricsRegistry(&reg);
+    obs::addCount("x", 5);
+    obs::setMetricsRegistry(nullptr);
+    EXPECT_EQ(reg.counter("x").value(), 5u);
+}
+
+// ----- determinism --------------------------------------------------
+
+std::string
+traceOfSeededRun(std::uint64_t seed)
+{
+    Tracer::Options opt;
+    opt.cores = 8;
+    opt.perCoreCapacity = 1 << 12;
+    Tracer t(opt);
+    obs::setTracer(&t);
+
+    sim::Simulator sim(seed);
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = 2;
+    rc.quantum = usToNs(5);
+    rc.adaptive = true;
+    rc.controllerParams.period = msToNs(5);
+    rc.statsHorizon = msToNs(5);
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+    workload::WorkloadSpec spec{workload::makeServiceLaw("A2", msToNs(20)),
+                                workload::RateLaw::constant(100e3),
+                                msToNs(20)};
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server.onArrival(r);
+                                    });
+    gen.start();
+    sim.runUntil(msToNs(30));
+
+    obs::setTracer(nullptr);
+    std::ostringstream os;
+    obs::writeChromeTrace(t, os);
+    return os.str();
+}
+
+TEST(TraceDeterminism, SameSeedProducesByteIdenticalTraces)
+{
+#ifdef PREEMPT_OBS_DISABLED
+    GTEST_SKIP() << "instrumentation compiled out";
+#endif
+    std::string a = traceOfSeededRun(42);
+    std::string b = traceOfSeededRun(42);
+    EXPECT_GT(a.size(), 1000u) << "run produced a near-empty trace";
+    EXPECT_EQ(a, b);
+    std::string err;
+    EXPECT_TRUE(obs::validateJson(a, &err)) << err;
+}
+
+TEST(TraceDeterminism, DifferentSeedsDiverge)
+{
+#ifdef PREEMPT_OBS_DISABLED
+    GTEST_SKIP() << "instrumentation compiled out";
+#endif
+    EXPECT_NE(traceOfSeededRun(1), traceOfSeededRun(2));
+}
+
+TEST(TraceDeterminism, SimTraceCoversInstrumentedSubsystems)
+{
+#ifdef PREEMPT_OBS_DISABLED
+    GTEST_SKIP() << "instrumentation compiled out";
+#endif
+    std::string a = traceOfSeededRun(42);
+    for (const char *name :
+         {"uintr_deliver_running", "quantum_decision", "timer_arm",
+          "timer_fire", "dispatch", "launch", "preempt", "complete",
+          "event_queue_depth"}) {
+        EXPECT_NE(a.find(std::string("\"") + name + "\""),
+                  std::string::npos)
+            << "no " << name << " event in the sim trace";
+    }
+}
+
+// ----- session ------------------------------------------------------
+
+TEST(Session, ParsesFlagsInstallsGlobalsAndWritesFiles)
+{
+    std::string traceFile = testing::TempDir() + "obs_trace.json";
+    std::string metricsFile = testing::TempDir() + "obs_metrics.json";
+    std::string traceArg = "--trace-out=" + traceFile;
+    std::string metricsArg = "--metrics-out=" + metricsFile;
+    const char *argv[] = {"test", traceArg.c_str(), metricsArg.c_str(),
+                          "--log-level=warn"};
+    CommandLine cli(4, const_cast<char **>(argv));
+    {
+        obs::Session session(cli);
+        cli.rejectUnknown();
+        EXPECT_TRUE(session.tracing());
+        EXPECT_TRUE(session.metrics());
+        ASSERT_NE(obs::tracer(), nullptr);
+        ASSERT_NE(obs::metricsRegistry(), nullptr);
+        EXPECT_EQ(minLogLevel(), LogLevel::Warn);
+        session.beginRun("run-1");
+        obs::emit(EventKind::Dispatch, 0, 100, 1);
+        obs::addCount("session.test");
+    }
+    EXPECT_EQ(obs::tracer(), nullptr);
+    EXPECT_EQ(obs::metricsRegistry(), nullptr);
+    setMinLogLevel(LogLevel::Inform);
+
+    for (const std::string &path : {traceFile, metricsFile}) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << path;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string err;
+        EXPECT_TRUE(obs::validateJson(ss.str(), &err)) << path << ": "
+                                                       << err;
+    }
+}
+
+TEST(Session, InstallsNothingWithoutFlags)
+{
+    const char *argv[] = {"test"};
+    CommandLine cli(1, const_cast<char **>(argv));
+    obs::Session session(cli);
+    EXPECT_FALSE(session.tracing());
+    EXPECT_FALSE(session.metrics());
+    EXPECT_EQ(obs::tracer(), nullptr);
+    EXPECT_EQ(obs::metricsRegistry(), nullptr);
+}
+
+} // namespace
+} // namespace preempt
