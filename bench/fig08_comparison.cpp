@@ -21,6 +21,7 @@
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
 #include "obs/session.hh"
+#include "fault/fault.hh"
 #include "common/dist.hh"
 #include "common/table.hh"
 #include "workload/loadsweep.hh"
@@ -53,6 +54,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
     obs::Session obsSession(cli);
+    fault::Session faultSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 250));
     cli.rejectUnknown();
 

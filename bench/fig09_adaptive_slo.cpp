@@ -12,6 +12,7 @@
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
 #include "obs/session.hh"
+#include "fault/fault.hh"
 #include "common/table.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
 #include "workload/generator.hh"
@@ -83,6 +84,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
     obs::Session obsSession(cli);
+    fault::Session faultSession(cli);
     // Default sized so both phases of C are stable: the exponential
     // second half caps 4-worker capacity at ~800 kRPS.
     double rps = cli.getDouble("rps", 650e3);

@@ -23,6 +23,7 @@
 
 #include "common/cli.hh"
 #include "obs/session.hh"
+#include "fault/fault.hh"
 #include "common/histogram.hh"
 #include "common/table.hh"
 #include "hw/kernel.hh"
@@ -137,6 +138,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
     obs::Session obsSession(cli);
+    fault::Session faultSession(cli);
     int fires = static_cast<int>(cli.getInt("fires", 1000));
     TimeNs interval = usToNs(cli.getDouble("interval-us", 100));
     cli.rejectUnknown();

@@ -15,6 +15,7 @@
 
 #include "common/cli.hh"
 #include "obs/session.hh"
+#include "fault/fault.hh"
 #include "common/histogram.hh"
 #include "common/table.hh"
 #include "hw/kernel.hh"
@@ -108,6 +109,7 @@ main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
     obs::Session obsSession(cli);
+    fault::Session faultSession(cli);
     int samples = static_cast<int>(cli.getInt("samples", 5000));
     int bg = static_cast<int>(cli.getInt("bg-threads", 26));
     cli.rejectUnknown();

@@ -38,6 +38,13 @@ class CommandLine
     /** Boolean flag (--name, --name=true/false) with default. */
     bool getBool(const std::string &name, bool def);
 
+    /** True when the user passed --name (consumed or not). Does not
+     *  mark the flag consumed; pair with a get*() call. */
+    bool provided(const std::string &name) const
+    {
+        return values_.find(name) != values_.end();
+    }
+
     /** Fail if any provided flag was never consumed. */
     void rejectUnknown() const;
 

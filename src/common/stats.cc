@@ -42,6 +42,23 @@ hillTailIndex(std::vector<double> &samples, double tail_fraction)
     return static_cast<double>(k) / sum;
 }
 
+TimeNs
+percentileNearestRank(std::vector<TimeNs> &samples, double q)
+{
+    fatal_if(q <= 0 || q > 1, "quantile must be in (0,1]");
+    if (samples.empty())
+        return 0;
+    std::size_t n = samples.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::min(std::max<std::size_t>(rank, 1), n);
+    std::size_t idx = rank - 1;
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<long>(idx),
+                     samples.end());
+    return samples[idx];
+}
+
 RequestStatsWindow::RequestStatsWindow(TimeNs horizon) : horizon_(horizon)
 {
     fatal_if(horizon == 0, "stats window horizon must be > 0");
@@ -98,13 +115,10 @@ RequestStatsWindow::tailLatency() const
     lat.reserve(records_.size());
     for (const auto &r : records_)
         lat.push_back(r.latency);
-    std::size_t idx = static_cast<std::size_t>(
-        0.99 * static_cast<double>(lat.size()));
-    if (idx >= lat.size())
-        idx = lat.size() - 1;
-    std::nth_element(lat.begin(), lat.begin() + static_cast<long>(idx),
-                     lat.end());
-    return lat[idx];
+    // Nearest rank, not a truncated q*n index: truncation reports the
+    // order statistic below the true p99 on small windows (e.g. the
+    // maximum of 100 samples vs. the 100th of 101).
+    return percentileNearestRank(lat, 0.99);
 }
 
 double

@@ -66,6 +66,18 @@ double hillTailIndex(std::vector<double> &samples,
                      double tail_fraction = 0.05);
 
 /**
+ * Nearest-rank percentile: the smallest sample such that at least
+ * q * n samples are <= it, i.e. the order statistic at index
+ * ceil(q * n) - 1. Matches LatencyHistogram::quantile's rank rule
+ * (truncating q * n instead biases small-sample p99/p999 low).
+ *
+ * @param samples observation values (any order); reordered in place.
+ * @param q       quantile in (0, 1].
+ * @return the selected sample, or 0 when the sample is empty.
+ */
+TimeNs percentileNearestRank(std::vector<TimeNs> &samples, double q);
+
+/**
  * Sliding window of completed-request records over a time horizon,
  * feeding the scheduler's control loop with load, median and tail
  * latency, and a tail-index estimate; this is the generic "record past

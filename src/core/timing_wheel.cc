@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -181,6 +182,19 @@ TimingWheel::advance(TimeNs now, const ExpireFn &fn)
         // generation mismatch identifies them here.
         if (!s.armed || s.gen != idGen(e.id))
             continue;
+        if (fault::active()) {
+            fault::TimerFault f =
+                fault::onTimer(fault::Site::Wheel, now_, 0);
+            if (f.coalesce || f.jitter) {
+                // Defer, never drop: the entry stays armed (same id and
+                // generation) and expires on a later advance, so wheel
+                // faults delay fires but cannot lose them.
+                TimeNs delay = f.jitter ? f.jitter : tick_;
+                ++deferredFires_;
+                place(Entry{e.id, now_ + delay, e.cookie, e.seq});
+                continue;
+            }
+        }
         freeArenaSlot(index);
         // a0 = lateness: how far past the deadline the wheel fired
         // (bounded by the tick for an innermost-level timer).

@@ -54,6 +54,11 @@ class TimingWheel
     /** Live timers. */
     std::size_t size() const { return live_; }
 
+    /** Fires deferred by injected coalesce/jitter faults; a deferred
+     *  entry stays armed and expires on a later advance, so no timer
+     *  is ever lost to a wheel fault. */
+    std::uint64_t deferredFires() const { return deferredFires_; }
+
     /** Current wheel time (last advance). */
     TimeNs now() const { return now_; }
 
@@ -115,6 +120,7 @@ class TimingWheel
     int levels_;
     TimeNs now_;
     std::size_t live_;
+    std::uint64_t deferredFires_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::vector<std::vector<Entry>> slots_;
     std::vector<TimerSlot> arena_;

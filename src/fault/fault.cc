@@ -1,0 +1,357 @@
+#include "fault/fault.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace preempt::fault {
+
+namespace {
+
+std::atomic<Injector *> g_injector{nullptr};
+
+constexpr TimeNs kDefaultDuplicateDelay = 700;
+constexpr TimeNs kDefaultReorderWindow = 2000;
+constexpr TimeNs kDefaultJitterWindow = 1500;
+constexpr TimeNs kDefaultSlowNs = 2000;
+
+/** The supported (action, site) matrix (DESIGN.md section 9). */
+bool
+validCombo(Action action, Site site)
+{
+    switch (site) {
+      case Site::Uintr:
+      case Site::Ipi:
+        return action == Action::Drop || action == Action::Delay ||
+               action == Action::Duplicate || action == Action::Reorder;
+      case Site::Wake:
+        return action == Action::Drop || action == Action::Delay ||
+               action == Action::Duplicate;
+      case Site::Signal:
+        return action == Action::Drop || action == Action::Delay ||
+               action == Action::Reorder;
+      case Site::Utimer:
+        return action == Action::Drop || action == Action::Coalesce ||
+               action == Action::Jitter || action == Action::Duplicate;
+      case Site::Wheel:
+        return action == Action::Coalesce || action == Action::Jitter;
+      case Site::Handler:
+        return action == Action::Slow;
+      case Site::kCount:
+        break;
+    }
+    return false;
+}
+
+template <typename Enum, std::size_t N>
+Enum
+parseToken(const std::array<const char *, N> &names, const std::string &tok,
+           const char *what)
+{
+    for (std::size_t i = 0; i < N; ++i) {
+        if (tok == names[i])
+            return static_cast<Enum>(i);
+    }
+    fatal("unknown fault %s '%s' in --faults spec", what, tok.c_str());
+}
+
+const std::array<const char *, static_cast<std::size_t>(Site::kCount)>
+    kSiteNames = {"uintr", "wake", "ipi", "signal", "utimer", "wheel",
+                  "handler"};
+
+const std::array<const char *, static_cast<std::size_t>(Action::kCount)>
+    kActionNames = {"drop", "delay", "dup", "reorder", "coalesce",
+                    "jitter", "slow"};
+
+} // namespace
+
+const char *
+siteName(Site site)
+{
+    return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+const char *
+actionName(Action action)
+{
+    return kActionNames[static_cast<std::size_t>(action)];
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    if (spec.empty() || spec == "none")
+        return plan;
+
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string rule_str = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (rule_str.empty())
+            continue;
+
+        // action ":" site "@" probability [":" param]
+        std::size_t colon = rule_str.find(':');
+        std::size_t at = rule_str.find('@');
+        fatal_if(colon == std::string::npos || at == std::string::npos ||
+                     colon > at,
+                 "malformed fault rule '%s' (want action:site@prob[:ns])",
+                 rule_str.c_str());
+
+        FaultRule rule;
+        rule.action = parseToken<Action>(
+            kActionNames, rule_str.substr(0, colon), "action");
+        rule.site = parseToken<Site>(
+            kSiteNames, rule_str.substr(colon + 1, at - colon - 1), "site");
+        fatal_if(!validCombo(rule.action, rule.site),
+                 "fault action '%s' is not supported at site '%s'",
+                 actionName(rule.action), siteName(rule.site));
+
+        std::string tail = rule_str.substr(at + 1);
+        std::size_t param_colon = tail.find(':');
+        std::string prob_str = tail.substr(0, param_colon);
+        char *end = nullptr;
+        rule.probability = std::strtod(prob_str.c_str(), &end);
+        fatal_if(end == prob_str.c_str() || *end != '\0' ||
+                     rule.probability < 0 || rule.probability > 1,
+                 "fault rule '%s': probability must be in [0,1]",
+                 rule_str.c_str());
+
+        rule.param = 0;
+        if (param_colon != std::string::npos) {
+            std::string param_str = tail.substr(param_colon + 1);
+            char *pend = nullptr;
+            long long v = std::strtoll(param_str.c_str(), &pend, 10);
+            fatal_if(pend == param_str.c_str() || *pend != '\0' || v < 0,
+                     "fault rule '%s': param must be a non-negative "
+                     "nanosecond count",
+                     rule_str.c_str());
+            rule.param = static_cast<TimeNs>(v);
+        }
+        plan.rules.push_back(rule);
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::str() const
+{
+    if (rules.empty())
+        return "none";
+    std::string out;
+    for (const FaultRule &rule : rules) {
+        if (!out.empty())
+            out += ',';
+        out += actionName(rule.action);
+        out += ':';
+        out += siteName(rule.site);
+        out += '@';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", rule.probability);
+        out += buf;
+        if (rule.param != 0) {
+            std::snprintf(buf, sizeof(buf), ":%llu",
+                          static_cast<unsigned long long>(rule.param));
+            out += buf;
+        }
+    }
+    return out;
+}
+
+Injector::Injector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed), rng_(seed, 0x666c74)
+{
+    for (std::size_t a = 0; a < kActions; ++a) {
+        for (std::size_t s = 0; s < kSites; ++s) {
+            counterNames_[a * kSites + s] =
+                std::string("fault.injected.") +
+                actionName(static_cast<Action>(a)) + ":" +
+                siteName(static_cast<Site>(s));
+        }
+    }
+}
+
+bool
+Injector::roll(const FaultRule &rule, TimeNs now, std::uint32_t core)
+{
+    if (rng_.uniform() >= rule.probability)
+        return false;
+    std::size_t idx = static_cast<std::size_t>(rule.action) * kSites +
+                      static_cast<std::size_t>(rule.site);
+    ++counts_[idx];
+    obs::addCount(counterNames_[idx].c_str());
+    obs::emit(obs::EventKind::FaultInject, core, now,
+              static_cast<std::uint64_t>(rule.site),
+              static_cast<std::uint64_t>(rule.action), rule.param);
+    return true;
+}
+
+TransportFault
+Injector::transport(Site site, TimeNs now, std::uint32_t core)
+{
+    TransportFault out;
+    for (const FaultRule &rule : plan_.rules) {
+        if (rule.site != site)
+            continue;
+        switch (rule.action) {
+          case Action::Drop:
+            if (roll(rule, now, core))
+                out.drop = true;
+            break;
+          case Action::Delay:
+            if (roll(rule, now, core))
+                out.delay += rule.param;
+            break;
+          case Action::Reorder:
+            if (roll(rule, now, core)) {
+                TimeNs window = rule.param ? rule.param
+                                           : kDefaultReorderWindow;
+                out.delay += 1 + rng_.next64() % window;
+            }
+            break;
+          case Action::Duplicate:
+            if (roll(rule, now, core)) {
+                out.duplicate = true;
+                out.duplicateDelay =
+                    rule.param ? rule.param : kDefaultDuplicateDelay;
+            }
+            break;
+          default:
+            panic("fault action '%s' reached transport site '%s'",
+                  actionName(rule.action), siteName(rule.site));
+        }
+    }
+    return out;
+}
+
+TimerFault
+Injector::timer(Site site, TimeNs now, std::uint32_t core)
+{
+    TimerFault out;
+    for (const FaultRule &rule : plan_.rules) {
+        if (rule.site != site)
+            continue;
+        switch (rule.action) {
+          case Action::Drop:
+            if (roll(rule, now, core))
+                out.drop = true;
+            break;
+          case Action::Coalesce:
+            if (roll(rule, now, core))
+                out.coalesce = true;
+            break;
+          case Action::Jitter:
+            if (roll(rule, now, core)) {
+                TimeNs window = rule.param ? rule.param
+                                           : kDefaultJitterWindow;
+                out.jitter += 1 + rng_.next64() % window;
+            }
+            break;
+          case Action::Duplicate:
+            if (roll(rule, now, core)) {
+                out.duplicate = true;
+                out.duplicateDelay =
+                    rule.param ? rule.param : kDefaultDuplicateDelay;
+            }
+            break;
+          default:
+            panic("fault action '%s' reached timer site '%s'",
+                  actionName(rule.action), siteName(rule.site));
+        }
+    }
+    return out;
+}
+
+TimeNs
+Injector::handlerSlowdown(TimeNs now, std::uint32_t core)
+{
+    TimeNs extra = 0;
+    for (const FaultRule &rule : plan_.rules) {
+        if (rule.site != Site::Handler || rule.action != Action::Slow)
+            continue;
+        if (roll(rule, now, core))
+            extra += rule.param ? rule.param : kDefaultSlowNs;
+    }
+    return extra;
+}
+
+std::uint64_t
+Injector::injected(Action action, Site site) const
+{
+    return counts_[static_cast<std::size_t>(action) * kSites +
+                   static_cast<std::size_t>(site)];
+}
+
+std::uint64_t
+Injector::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts_)
+        total += c;
+    return total;
+}
+
+Injector *
+injector() noexcept
+{
+    return g_injector.load(std::memory_order_relaxed);
+}
+
+void
+setInjector(Injector *inj) noexcept
+{
+    g_injector.store(inj, std::memory_order_relaxed);
+}
+
+TransportFault
+onTransport(Site site, TimeNs now, std::uint32_t core)
+{
+    Injector *inj = injector();
+    return inj ? inj->transport(site, now, core) : TransportFault{};
+}
+
+TimerFault
+onTimer(Site site, TimeNs now, std::uint32_t core)
+{
+    Injector *inj = injector();
+    return inj ? inj->timer(site, now, core) : TimerFault{};
+}
+
+TimeNs
+onHandler(TimeNs now, std::uint32_t core)
+{
+    Injector *inj = injector();
+    return inj ? inj->handlerSlowdown(now, core) : 0;
+}
+
+Session::Session(CommandLine &cli)
+{
+    std::string spec = cli.getString("faults", "");
+    std::uint64_t seed = static_cast<std::uint64_t>(
+        cli.getInt("fault-seed", 0x666c7402));
+    FaultPlan plan = FaultPlan::parse(spec);
+    if (plan.empty())
+        return;
+    injector_ = std::make_unique<Injector>(std::move(plan), seed);
+    setInjector(injector_.get());
+    inform("fault injection active: plan=%s seed=%llu",
+           injector_->plan().str().c_str(),
+           static_cast<unsigned long long>(seed));
+}
+
+Session::~Session()
+{
+    if (injector_)
+        setInjector(nullptr);
+}
+
+} // namespace preempt::fault

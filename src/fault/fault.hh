@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Deterministic, seed-reproducible fault injection for the simulated
+ * UINTR/timer stack.
+ *
+ * A FaultPlan is a set of rules parsed from a `--faults=` spec; an
+ * Injector draws from its own PCG stream to decide, per injection
+ * site event, whether a fault fires. Installed process-wide (like the
+ * obs:: tracer), the instrumented subsystems query it through
+ * null-safe helpers: with no injector installed every helper returns
+ * the identity decision without touching any RNG, so the zero-fault
+ * path is byte-identical to a build that never heard of faults.
+ *
+ * Spec grammar (comma-separated rules):
+ *
+ *   rule    := action ":" site "@" probability [":" param-ns]
+ *   action  := drop | delay | dup | reorder | coalesce | jitter | slow
+ *   site    := uintr | wake | ipi | signal | utimer | wheel | handler
+ *
+ *   --faults=none            empty plan (same as omitting the flag)
+ *   --faults=drop:uintr@0.01,delay:wake@0.1:2500,jitter:utimer@0.05:1500
+ *
+ * Semantics per action:
+ *   drop     the notification/fire is lost in transit
+ *   delay    delivery is late by exactly param ns (deterministic)
+ *   dup      a second copy of the notification arrives param ns after
+ *            the first (default 700 ns)
+ *   reorder  delivery is late by a uniform draw in [1, param] ns
+ *            (default 2000), letting later sends overtake it
+ *   coalesce a timer fire is folded into the next poll tick / interval
+ *   jitter   a timer fire lands late by a uniform draw in [1, param]
+ *   slow     the preemption handler burns an extra param ns
+ *
+ * Valid (action, site) combinations are checked at parse time; see
+ * DESIGN.md section 9 for the full matrix and the recovery paths
+ * (bounded-retry resend, utimer fire watchdog) each fault exercises.
+ *
+ * Single-threaded by design: the injector serves the discrete-event
+ * simulator's thread. Do not install one around the real runtime.
+ */
+
+#ifndef PREEMPT_FAULT_FAULT_HH
+#define PREEMPT_FAULT_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/time.hh"
+
+namespace preempt {
+class CommandLine;
+} // namespace preempt
+
+namespace preempt::fault {
+
+/** Where a fault can be injected. */
+enum class Site : std::uint8_t
+{
+    Uintr,   ///< UINTR notification transport (running-receiver path)
+    Wake,    ///< kernel-assisted blocked-receiver wakeups
+    Ipi,     ///< posted IPIs (hw::PostedIpiUnit)
+    Signal,  ///< kernel signal delivery (hw::SignalPath)
+    Utimer,  ///< LibUtimer deadline fires (runtime_sim::UTimerModel)
+    Wheel,   ///< core::TimingWheel expiry
+    Handler, ///< preemption handler on the worker
+    kCount
+};
+
+/** What the fault does. */
+enum class Action : std::uint8_t
+{
+    Drop,
+    Delay,
+    Duplicate,
+    Reorder,
+    Coalesce,
+    Jitter,
+    Slow,
+    kCount
+};
+
+/** Stable lowercase names (the spec grammar tokens). */
+const char *siteName(Site site);
+const char *actionName(Action action);
+
+/** One parsed rule. */
+struct FaultRule
+{
+    Action action;
+    Site site;
+    double probability; ///< per-event trigger probability in [0, 1]
+    TimeNs param;       ///< ns parameter (0 = action default)
+};
+
+/** A parsed `--faults=` spec. */
+struct FaultPlan
+{
+    std::vector<FaultRule> rules;
+
+    bool empty() const { return rules.empty(); }
+
+    /**
+     * Parse a spec string ("" and "none" give an empty plan). Invalid
+     * grammar or an unsupported (action, site) combination is fatal.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Canonical re-print of the plan ("none" when empty). */
+    std::string str() const;
+};
+
+/** Decision for one transported notification (uintr/wake/ipi/signal). */
+struct TransportFault
+{
+    bool drop = false;
+    TimeNs delay = 0; ///< extra latency (delay and/or reorder rules)
+    bool duplicate = false;
+    TimeNs duplicateDelay = 0; ///< extra lag of the duplicated copy
+};
+
+/** Decision for one timer fire (utimer/wheel). */
+struct TimerFault
+{
+    bool drop = false;
+    bool coalesce = false;
+    bool duplicate = false;
+    TimeNs duplicateDelay = 0;
+    TimeNs jitter = 0; ///< extra lateness
+};
+
+/**
+ * Draws per-event fault decisions from a plan. Deterministic in
+ * (plan, seed, query sequence); the simulated subsystems issue queries
+ * in virtual-time order, so same seed + same plan reproduces the same
+ * fault schedule exactly.
+ */
+class Injector
+{
+  public:
+    Injector(FaultPlan plan, std::uint64_t seed);
+
+    /** Decide faults for one notification send at `now` on `core`. */
+    TransportFault transport(Site site, TimeNs now, std::uint32_t core);
+
+    /** Decide faults for one timer fire at `now` on `core`. */
+    TimerFault timer(Site site, TimeNs now, std::uint32_t core);
+
+    /** Extra handler ns for one preemption (0 when no slow rule). */
+    TimeNs handlerSlowdown(TimeNs now, std::uint32_t core);
+
+    const FaultPlan &plan() const { return plan_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Times a (action, site) rule has triggered. */
+    std::uint64_t injected(Action action, Site site) const;
+
+    /** Total faults injected across all rules. */
+    std::uint64_t totalInjected() const;
+
+  private:
+    static constexpr std::size_t kActions =
+        static_cast<std::size_t>(Action::kCount);
+    static constexpr std::size_t kSites =
+        static_cast<std::size_t>(Site::kCount);
+
+    /** True (and counted/traced) when the rule triggers this event. */
+    bool roll(const FaultRule &rule, TimeNs now, std::uint32_t core);
+
+    FaultPlan plan_;
+    std::uint64_t seed_;
+    Rng rng_;
+    std::array<std::uint64_t, kActions * kSites> counts_{};
+    /** Precomputed obs counter names, "fault.injected.drop:uintr". */
+    std::array<std::string, kActions * kSites> counterNames_;
+};
+
+/** Currently installed injector, or nullptr (injection off). */
+Injector *injector() noexcept;
+
+/** Install/uninstall the process-wide injector (caller owns it). */
+void setInjector(Injector *injector) noexcept;
+
+/** True when fault injection is active. */
+inline bool
+active() noexcept
+{
+    return injector() != nullptr;
+}
+
+// ----- Null-safe helpers for instrumentation sites ------------------
+// Identity decisions (and no RNG draws) when no injector is installed.
+
+TransportFault onTransport(Site site, TimeNs now, std::uint32_t core);
+TimerFault onTimer(Site site, TimeNs now, std::uint32_t core);
+TimeNs onHandler(TimeNs now, std::uint32_t core);
+
+/**
+ * RAII CLI wiring: consumes `--faults=` and `--fault-seed=` and
+ * installs an injector for the process when the plan is non-empty.
+ *
+ *   CommandLine cli(argc, argv);
+ *   obs::Session obsSession(cli);
+ *   fault::Session faultSession(cli);
+ *   ...
+ *   cli.rejectUnknown();
+ */
+class Session
+{
+  public:
+    explicit Session(CommandLine &cli);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** True when a non-empty plan was installed. */
+    bool active() const { return injector_ != nullptr; }
+
+    Injector *injector() { return injector_.get(); }
+
+  private:
+    std::unique_ptr<Injector> injector_;
+};
+
+} // namespace preempt::fault
+
+#endif // PREEMPT_FAULT_FAULT_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace preempt::hw {
 
@@ -23,7 +24,16 @@ SignalPath::sendSignal(std::function<void(TimeNs, TimeNs)> handler)
     lockFreeAt_ = start + cfg_.signalLockHold;
 
     TimeNs path = cfg_.signalDelivery.sample(rng_);
-    TimeNs entry_delay = queueing + path + cfg_.signalHandlerCost;
+    fault::TransportFault f = fault::onTransport(fault::Site::Signal,
+                                                now, 0);
+    if (f.drop) {
+        // Signal lost in the kernel (after the lock slot was consumed):
+        // the caller's timer chain continues, this expiry never lands.
+        ++dropped_;
+        return;
+    }
+    TimeNs entry_delay = queueing + path + cfg_.signalHandlerCost +
+                         f.delay;
     sim_.after(entry_delay, [this, handler = std::move(handler), queueing,
                              entry_delay](TimeNs t) {
         ++delivered_;

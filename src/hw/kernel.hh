@@ -42,6 +42,9 @@ class SignalPath
     /** Signals delivered so far. */
     std::uint64_t delivered() const { return delivered_; }
 
+    /** Signals lost in the kernel (fault injection). */
+    std::uint64_t dropped() const { return dropped_; }
+
     /** Mean kernel queueing delay per delivered signal. */
     double meanQueueingNs() const;
 
@@ -51,6 +54,7 @@ class SignalPath
     Rng rng_;
     TimeNs lockFreeAt_;
     std::uint64_t delivered_;
+    std::uint64_t dropped_ = 0;
     double totalQueueingNs_;
 };
 

@@ -1,6 +1,7 @@
 #include "hw/posted_ipi.hh"
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace preempt::hw {
 
@@ -33,15 +34,32 @@ PostedIpiUnit::sendIpi(int target)
         ++stats_.coalesced;
         return cfg_.postedIpiSend;
     }
-    t.pending = true;
     TimeNs delay = cfg_.postedIpiDelivery.sample(rng_) +
                    cfg_.shinjukuTrapCost;
-    sim_.after(delay, [this, target](TimeNs now) {
+    fault::TransportFault f = fault::onTransport(
+        fault::Site::Ipi, sim_.now(),
+        static_cast<std::uint32_t>(target));
+    if (f.drop) {
+        // Lost ICR write: the pending bit never sets, so a later send
+        // is not coalesced away and retries delivery.
+        ++stats_.dropped;
+        return cfg_.postedIpiSend;
+    }
+    t.pending = true;
+    auto deliver = [this, target](TimeNs now) {
         Target &tt = targets_[static_cast<std::size_t>(target)];
+        if (!tt.pending) {
+            // Duplicated IPI for an already-served pending bit.
+            ++stats_.redundant;
+            return;
+        }
         tt.pending = false;
         ++stats_.delivered;
         tt.handler(now);
-    });
+    };
+    sim_.after(delay + f.delay, deliver);
+    if (f.duplicate)
+        sim_.after(delay + f.delay + f.duplicateDelay, deliver);
     return cfg_.postedIpiSend;
 }
 

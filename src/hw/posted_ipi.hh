@@ -36,6 +36,9 @@ struct PostedIpiStats
     std::uint64_t sends = 0;
     std::uint64_t delivered = 0;
     std::uint64_t coalesced = 0; ///< sends merged into a pending IPI
+    std::uint64_t dropped = 0;   ///< lost in transit (fault injection)
+    std::uint64_t redundant = 0; ///< duplicated deliveries for an
+                                 ///< already-cleared pending bit
 };
 
 /** A ring-3-mapped APIC as Shinjuku uses it. */

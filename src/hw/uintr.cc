@@ -1,6 +1,7 @@
 #include "hw/uintr.hh"
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -15,6 +16,13 @@ track(int receiver)
 {
     return static_cast<std::uint32_t>(receiver);
 }
+
+/** Resend watchdog: first check after kResendBaseNs, doubling each
+ *  retry, giving up after kResendMaxAttempts re-notifications. The
+ *  base sits above the calibrated blocked-delivery latency so a
+ *  healthy notification always lands before the first check. */
+constexpr TimeNs kResendBaseNs = 4000;
+constexpr int kResendMaxAttempts = 5;
 
 } // namespace
 
@@ -113,6 +121,8 @@ UintrUnit::senduipi(int uipi_index)
               sim_.now(), static_cast<std::uint64_t>(entry.receiver),
               static_cast<std::uint64_t>(entry.vector));
     notify(entry.receiver);
+    if (fault::active())
+        armResend(entry.receiver, r.pirPostedAt, 0);
     return cfg_.senduipiCost;
 }
 
@@ -126,28 +136,22 @@ UintrUnit::notify(int receiver)
     if (r.blocked) {
         // Ordinary interrupt unblocks the receiver; the user interrupt
         // is injected when it resumes (higher calibrated latency).
+        TimeNs delay = cfg_.uintrBlocked.sample(rng_);
+        fault::TransportFault f = fault::onTransport(
+            fault::Site::Wake, sim_.now(), track(receiver));
+        if (f.drop) {
+            // Lost in transit: ON stays clear, so a later send, an
+            // eligibility transition, or the resend watchdog retries.
+            ++stats_.droppedNotifications;
+            return;
+        }
         r.on = true;
         std::uint64_t gen = r.generation;
-        TimeNs delay = cfg_.uintrBlocked.sample(rng_);
-        sim_.after(delay, [this, receiver, gen](TimeNs now) {
-            Receiver &rr = rx(receiver);
-            if (!rr.valid || rr.generation != gen)
-                return;
-            rr.on = false;
-            rr.blocked = false;
-            rr.running = true;
-            ++stats_.deliveredBlocked;
-            TimeNs lat = now - rr.pirPostedAt;
-            obs::emit(obs::EventKind::UintrWake, track(receiver), now,
-                      static_cast<std::uint64_t>(receiver), lat);
-            obs::emit(obs::EventKind::UintrDeliverBlocked,
-                      track(receiver), now,
-                      static_cast<std::uint64_t>(receiver), lat, rr.pir);
-            obs::recordTimer("uintr.delivery_blocked_ns", lat);
-            if (rr.wake)
-                rr.wake(now);
-            deliverNow(receiver, now);
-        });
+        scheduleBlockedWake(receiver, gen, delay + f.delay, false);
+        if (f.duplicate)
+            scheduleBlockedWake(receiver, gen,
+                                delay + f.delay + f.duplicateDelay,
+                                true);
         return;
     }
 
@@ -158,23 +162,127 @@ UintrUnit::notify(int receiver)
         return;
     }
 
+    TimeNs delay = cfg_.uintrRunning.sample(rng_);
+    fault::TransportFault f = fault::onTransport(
+        fault::Site::Uintr, sim_.now(), track(receiver));
+    if (f.drop) {
+        ++stats_.droppedNotifications;
+        return;
+    }
     r.on = true;
     std::uint64_t gen = r.generation;
-    TimeNs delay = cfg_.uintrRunning.sample(rng_);
-    sim_.after(delay, [this, receiver, gen](TimeNs now) {
+    scheduleRunningDelivery(receiver, gen, delay + f.delay, false);
+    if (f.duplicate)
+        scheduleRunningDelivery(receiver, gen,
+                                delay + f.delay + f.duplicateDelay,
+                                true);
+}
+
+void
+UintrUnit::scheduleRunningDelivery(int receiver, std::uint64_t gen,
+                                   TimeNs delay, bool dup)
+{
+    sim_.after(delay, [this, receiver, gen, dup](TimeNs now) {
         Receiver &rr = rx(receiver);
         if (!rr.valid || rr.generation != gen)
             return;
-        rr.on = false;
+        if (!dup)
+            rr.on = false;
+        if (rr.pir == 0) {
+            // Duplicate (or raced) notification for an already-cleared
+            // PIR: counted no-op, never a handler entry.
+            ++stats_.redundant;
+            return;
+        }
         if (!rr.running || !rr.uifFlag || rr.blocked) {
             // The receiver lost eligibility while the notification was
             // in flight; the PIR keeps the request pending.
             ++stats_.spurious;
+            // If it blocked meanwhile, the setBlocked-time notify saw
+            // ON still set and bailed — without a retry here the PIR
+            // would be stranded until the next send (missed wakeup).
+            if (rr.blocked)
+                notify(receiver);
             return;
         }
         ++stats_.deliveredRunning;
         noteDeliveredRunning(receiver, now);
         deliverNow(receiver, now);
+    });
+}
+
+void
+UintrUnit::scheduleBlockedWake(int receiver, std::uint64_t gen,
+                               TimeNs delay, bool dup)
+{
+    sim_.after(delay, [this, receiver, gen, dup](TimeNs now) {
+        Receiver &rr = rx(receiver);
+        if (!rr.valid || rr.generation != gen)
+            return;
+        if (!dup)
+            rr.on = false;
+        if (rr.pir == 0 || (dup && !rr.blocked)) {
+            // Duplicated wake after the PIR was served (or after the
+            // receiver already resumed): counted no-op.
+            ++stats_.redundant;
+            return;
+        }
+        rr.blocked = false;
+        rr.running = true;
+        TimeNs lat = now - rr.pirPostedAt;
+        obs::emit(obs::EventKind::UintrWake, track(receiver), now,
+                  static_cast<std::uint64_t>(receiver), lat);
+        if (rr.wake)
+            rr.wake(now);
+        if (!rr.uifFlag) {
+            // Double-ineligible corner (blocked with UIF clear): the
+            // ordinary interrupt still resumes the thread, but the
+            // user interrupt must stay parked until STUI re-enables
+            // delivery; entering the handler here would break the
+            // CLUI critical section. setUif(true) recognises the PIR.
+            ++stats_.suppressed;
+            return;
+        }
+        ++stats_.deliveredBlocked;
+        obs::emit(obs::EventKind::UintrDeliverBlocked,
+                  track(receiver), now,
+                  static_cast<std::uint64_t>(receiver), lat, rr.pir);
+        obs::recordTimer("uintr.delivery_blocked_ns", lat);
+        deliverNow(receiver, now);
+    });
+}
+
+void
+UintrUnit::armResend(int receiver, TimeNs posted_at, int attempt)
+{
+    Receiver &r = rx(receiver);
+    std::uint64_t gen = r.generation;
+    TimeNs backoff = kResendBaseNs << attempt;
+    sim_.after(backoff, [this, receiver, gen, posted_at,
+                         attempt](TimeNs now) {
+        Receiver &rr = rx(receiver);
+        if (!rr.valid || rr.generation != gen)
+            return;
+        if (rr.pir == 0 || rr.pirPostedAt != posted_at)
+            return; // batch acknowledged (delivered or superseded)
+        if (rr.on) {
+            // A notification is in flight; keep watching this batch
+            // without burning a retry.
+            armResend(receiver, posted_at, attempt);
+            return;
+        }
+        if (attempt >= kResendMaxAttempts) {
+            ++stats_.resendsAbandoned;
+            obs::addCount("fault.abandoned.uintr_resend");
+            return;
+        }
+        ++stats_.resends;
+        obs::addCount("fault.recovered.uintr_resend");
+        obs::emit(obs::EventKind::FaultRecover, track(receiver), now,
+                  static_cast<std::uint64_t>(fault::Site::Uintr),
+                  static_cast<std::uint64_t>(attempt));
+        notify(receiver);
+        armResend(receiver, posted_at, attempt + 1);
     });
 }
 
@@ -202,23 +310,35 @@ UintrUnit::deliverNow(int receiver, TimeNs now)
 }
 
 void
+UintrUnit::scheduleRecognition(int receiver)
+{
+    std::uint64_t gen = rx(receiver).generation;
+    sim_.after(cfg_.uintrRecognition, [this, receiver, gen](TimeNs t) {
+        Receiver &rr = rx(receiver);
+        if (!rr.valid || rr.generation != gen)
+            return;
+        if (rr.pir == 0) {
+            // Another delivery path (duplicate, wake, or a racing
+            // recognition) served the PIR first; counting this as a
+            // delivery would corrupt the latency metrics.
+            ++stats_.redundant;
+            return;
+        }
+        if (rr.running && rr.uifFlag && !rr.blocked) {
+            ++stats_.deliveredRunning;
+            noteDeliveredRunning(receiver, t);
+            deliverNow(receiver, t);
+        }
+    });
+}
+
+void
 UintrUnit::uiret(int receiver)
 {
     Receiver &r = rx(receiver);
     r.uifFlag = true;
-    if (r.pir != 0 && r.running && !r.blocked && !r.on) {
-        std::uint64_t gen = r.generation;
-        sim_.after(cfg_.uintrRecognition, [this, receiver, gen](TimeNs t) {
-            Receiver &rr = rx(receiver);
-            if (!rr.valid || rr.generation != gen)
-                return;
-            if (rr.running && rr.uifFlag && !rr.blocked) {
-                ++stats_.deliveredRunning;
-                noteDeliveredRunning(receiver, t);
-                deliverNow(receiver, t);
-            }
-        });
-    }
+    if (r.pir != 0 && r.running && !r.blocked && !r.on)
+        scheduleRecognition(receiver);
 }
 
 void
@@ -228,20 +348,8 @@ UintrUnit::setRunning(int receiver, bool running)
     r.running = running;
     if (running) {
         r.blocked = false;
-        if (r.pir != 0 && r.uifFlag && !r.on) {
-            std::uint64_t gen = r.generation;
-            sim_.after(cfg_.uintrRecognition,
-                       [this, receiver, gen](TimeNs t) {
-                Receiver &rr = rx(receiver);
-                if (!rr.valid || rr.generation != gen)
-                    return;
-                if (rr.running && rr.uifFlag && !rr.blocked) {
-                    ++stats_.deliveredRunning;
-                    noteDeliveredRunning(receiver, t);
-                    deliverNow(receiver, t);
-                }
-            });
-        }
+        if (r.pir != 0 && r.uifFlag && !r.on)
+            scheduleRecognition(receiver);
     }
 }
 

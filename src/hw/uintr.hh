@@ -48,6 +48,15 @@ struct UintrStats
     std::uint64_t suppressed = 0;   ///< sends absorbed into the PIR
     std::uint64_t spurious = 0;     ///< notifications that found the
                                     ///< receiver no longer eligible
+    std::uint64_t redundant = 0;    ///< notifications that found the
+                                    ///< PIR already cleared (duplicate
+                                    ///< delivery / recognition races)
+    std::uint64_t droppedNotifications = 0; ///< lost in transit
+                                    ///< (fault injection)
+    std::uint64_t resends = 0;      ///< watchdog re-notifications of an
+                                    ///< unacknowledged PIR
+    std::uint64_t resendsAbandoned = 0; ///< resend retry budget
+                                    ///< exhausted
 };
 
 /** Models the UINTR hardware shared by all threads of a machine. */
@@ -172,6 +181,29 @@ class UintrUnit
 
     /** Try to schedule a notification for pending vectors. */
     void notify(int receiver);
+
+    /** Schedule one running-receiver delivery event after `delay`.
+     *  `dup` marks a fault-injected duplicated copy (it must not clear
+     *  the genuine outstanding-notification bit). */
+    void scheduleRunningDelivery(int receiver, std::uint64_t gen,
+                                 TimeNs delay, bool dup);
+
+    /** Schedule one blocked-receiver kernel wake after `delay`. */
+    void scheduleBlockedWake(int receiver, std::uint64_t gen,
+                             TimeNs delay, bool dup);
+
+    /** Schedule PIR recognition after an eligibility transition
+     *  (uiret / resume); never fault-injected, so a parked request is
+     *  always recoverable through a transition. */
+    void scheduleRecognition(int receiver);
+
+    /**
+     * Mitigation: watch an unacknowledged PIR batch and re-notify with
+     * bounded exponential backoff if no delivery lands (recovers from
+     * dropped notifications). Only armed while fault injection is
+     * active, so the zero-fault event schedule is untouched.
+     */
+    void armResend(int receiver, TimeNs posted_at, int attempt);
 
     /** Deliver all pending vectors to an eligible receiver now. */
     void deliverNow(int receiver, TimeNs now);

@@ -37,6 +37,8 @@ kindName(EventKind kind)
       case EventKind::CancelRequest:       return "cancel_request";
       case EventKind::Steal:               return "steal";
       case EventKind::HandlerEnter:        return "handler_enter";
+      case EventKind::FaultInject:         return "fault_inject";
+      case EventKind::FaultRecover:        return "fault_recover";
       case EventKind::kCount:              break;
     }
     return "unknown";

@@ -81,6 +81,12 @@ enum class EventKind : std::uint16_t
     HandlerEnter = 18,      ///< real preemption handler entry
                             ///< (signal/UINTR context)
 
+    // fault:: injection (PR 3)
+    FaultInject = 19,       ///< fault triggered; id = fault::Site,
+                            ///< a0 = fault::Action, a1 = param ns
+    FaultRecover = 20,      ///< mitigation recovered from a fault;
+                            ///< id = fault::Site, a0 = attempt/kind
+
     kCount
 };
 

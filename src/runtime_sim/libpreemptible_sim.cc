@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -11,6 +12,15 @@ namespace preempt::runtime_sim {
 
 using workload::Request;
 using workload::RequestClass;
+
+namespace {
+
+/** Fire-watchdog grace past the expected handler entry: long enough
+ *  that a healthy (even jittered) fire always lands first, short
+ *  enough to bound how far a segment can overrun after a drop. */
+constexpr TimeNs kFireWatchdogGraceNs = 25000;
+
+} // namespace
 
 LibPreemptibleSim::LibPreemptibleSim(sim::Simulator &sim,
                                      const hw::LatencyConfig &cfg,
@@ -232,6 +242,7 @@ LibPreemptibleSim::startSegment(Worker &w, Request &req, TimeNs now,
                                 bool fresh)
 {
     w.current = &req;
+    ++w.segGen;
     if (req.firstStart == kTimeNever)
         req.firstStart = now;
     if (fresh)
@@ -283,6 +294,11 @@ LibPreemptibleSim::startSegment(Worker &w, Request &req, TimeNs now,
         w.event = sim_.at(done_at, [this, id](TimeNs t) {
             onCompletion(workers_[static_cast<std::size_t>(id)], t);
         });
+    } else if (plan.dropped) {
+        // The fire was lost in transit: no preemption event will ever
+        // end this segment. The watchdog recovers it.
+        w.fireNoticed = plan.noticed;
+        armFireWatchdog(w, plan, w.segGen);
     } else {
         int id = w.id;
         TimeNs worker_ovh = plan.workerOverhead;
@@ -292,7 +308,47 @@ LibPreemptibleSim::startSegment(Worker &w, Request &req, TimeNs now,
             onPreemption(workers_[static_cast<std::size_t>(id)], t,
                          worker_ovh);
         });
+        if (plan.duplicated) {
+            // A duplicated fire lands after the segment ended (the
+            // primary fire preempts it): always a counted no-op.
+            std::uint64_t gen = w.segGen;
+            sim_.at(plan.handlerEntry + plan.duplicateDelay,
+                    [this, id, gen](TimeNs t) {
+                Worker &ww = workers_[static_cast<std::size_t>(id)];
+                (void)gen;
+                panic_if(ww.segGen == gen && ww.current != nullptr,
+                         "duplicated fire outlived its own preemption");
+                utimer_.noteRedundantFire(t);
+            });
+        }
     }
+}
+
+void
+LibPreemptibleSim::armFireWatchdog(Worker &w, const FirePlan &plan,
+                                   std::uint64_t gen)
+{
+    int id = w.id;
+    TimeNs worker_ovh = plan.workerOverhead;
+    w.event = sim_.at(plan.handlerEntry + kFireWatchdogGraceNs,
+                      [this, id, gen, worker_ovh](TimeNs t) {
+        Worker &ww = workers_[static_cast<std::size_t>(id)];
+        if (ww.segGen != gen || ww.current == nullptr)
+            return; // the segment ended some other way
+        ++watchdogRecoveries_;
+        obs::addCount("fault.recovered.utimer_watchdog");
+        obs::emit(obs::EventKind::FaultRecover,
+                  static_cast<std::uint32_t>(ww.id + 1), t,
+                  static_cast<std::uint64_t>(fault::Site::Utimer), 0);
+        // If the function's service ran out while we waited, this is a
+        // (late) completion; otherwise preempt it as the lost fire
+        // would have.
+        TimeNs executed = t - ww.segStart;
+        if (ww.current->remaining <= executed)
+            onCompletion(ww, t);
+        else
+            onPreemption(ww, t, worker_ovh);
+    });
 }
 
 void
@@ -340,6 +396,11 @@ LibPreemptibleSim::onPreemption(Worker &w, TimeNs now,
     panic_if(!req, "preemption with no running request");
     w.current = nullptr;
     w.event = sim::kInvalidEvent;
+
+    // Fault injection: a slow handler burns extra worker time before
+    // control returns to the scheduler.
+    worker_overhead += fault::onHandler(
+        now, static_cast<std::uint32_t>(w.id + 1));
 
     // The quantum expired: the timer core's deadline scan fired and
     // the worker's handler just gained control.

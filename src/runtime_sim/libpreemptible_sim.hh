@@ -145,6 +145,12 @@ class LibPreemptibleSim : public ServerModel
     /** Total cores used (workers + dispatcher + timer). */
     int coresUsed() const { return config_.nWorkers + 2; }
 
+    /** Segments rescued by the fire watchdog after a dropped fire. */
+    std::uint64_t watchdogRecoveries() const
+    {
+        return watchdogRecoveries_;
+    }
+
   private:
     struct Worker
     {
@@ -164,6 +170,9 @@ class LibPreemptibleSim : public ServerModel
         bool wakePending = false;
         std::uint64_t launches = 0;
         std::uint64_t resumes = 0;
+        /** Bumped on every startSegment; guards the fire watchdog and
+         *  duplicated-fire events against acting on a later segment. */
+        std::uint64_t segGen = 0;
     };
 
     /** Dispatcher admission (runs on the network core). */
@@ -184,6 +193,17 @@ class LibPreemptibleSim : public ServerModel
 
     /** Segment ended by a LibUtimer preemption. */
     void onPreemption(Worker &w, TimeNs now, TimeNs worker_overhead);
+
+    /**
+     * Mitigation: when a planned fire is lost (fault injection), no
+     * event would ever end the running segment. The watchdog checks in
+     * shortly after the expected handler entry and finishes the
+     * segment itself — as a (late) completion if the function ran to
+     * its end in the meantime, as a preemption otherwise. Armed only
+     * for dropped plans, so the zero-fault schedule is untouched.
+     */
+    void armFireWatchdog(Worker &w, const FirePlan &plan,
+                         std::uint64_t gen);
 
     /** One Algorithm 1 control step. */
     void controllerStep(TimeNs now);
@@ -206,6 +226,7 @@ class LibPreemptibleSim : public ServerModel
     TimeNs dispatcherFreeAt_;
     std::uint64_t admitted_;
     std::uint64_t finished_;
+    std::uint64_t watchdogRecoveries_ = 0;
     int rrCursor_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -72,7 +73,19 @@ UTimerModel::planFire(TimeNs deadline)
                            ? cfg_.senduipiCost
                            : cfg_.syscallCost; // tgkill from timer thread
     TimeNs delivery = sampleDelivery();
-    plan.handlerEntry = plan.noticed + send_cost + delivery;
+    fault::TimerFault f = fault::onTimer(fault::Site::Utimer, sim_.now(),
+                                         traceCore_);
+    if (f.coalesce) {
+        // Folded into the next poll tick: the timer core misses the
+        // deadline on this scan and notices it a full interval later.
+        TimeNs step = cfg_.utimerPollInterval > 0 ? cfg_.utimerPollInterval
+                                                  : TimeNs{1000};
+        plan.noticed += step;
+    }
+    plan.handlerEntry = plan.noticed + send_cost + delivery + f.jitter;
+    plan.dropped = f.drop;
+    plan.duplicated = f.duplicate;
+    plan.duplicateDelay = f.duplicateDelay;
     TimeNs handler_cost = delivery_ == TimerDelivery::Uintr
                               ? cfg_.uintrHandlerCost
                               : cfg_.signalHandlerCost;
@@ -129,22 +142,35 @@ UTimerModel::startPeriodic(int slot, TimeNs interval,
             UTimerModel *m = self;
             FirePlan plan = m->planFire(target);
             Chain next = *this;
+            bool dropped = plan.dropped;
             sim::EventId id =
                 m->sim_.at(std::max(plan.handlerEntry, m->sim_.now()),
-                           [next, target](TimeNs now) {
+                           [next, target, dropped](TimeNs now) {
                 Slot &s =
                     next.self->slots_[static_cast<std::size_t>(next.slot)];
                 // The generation guards the one fire that may already
                 // be in flight when stopPeriodic() cancels the chain.
-                if (!s.periodic || s.generation != next.gen)
+                if (!s.periodic || s.generation != next.gen) {
+                    ++next.self->staleFires_;
+                    obs::addCount("utimer.stale_fires");
                     return;
-                // a0 = jitter: handler entry past the nominal target.
-                obs::emit(obs::EventKind::TimerFire,
-                          next.self->traceCore_, now,
-                          static_cast<std::uint64_t>(next.slot),
-                          now - std::min(target, now));
-                obs::addCount("utimer.periodic_fires");
-                s.handler(now);
+                }
+                if (dropped) {
+                    // Notification lost in transit: this handler entry
+                    // never happens, but the chain re-arms from its
+                    // nominal target so the stream survives the fault.
+                    ++next.self->droppedFires_;
+                    obs::addCount("utimer.dropped_fires");
+                } else {
+                    // a0 = jitter: handler entry past the nominal
+                    // target.
+                    obs::emit(obs::EventKind::TimerFire,
+                              next.self->traceCore_, now,
+                              static_cast<std::uint64_t>(next.slot),
+                              now - std::min(target, now));
+                    obs::addCount("utimer.periodic_fires");
+                    s.handler(now);
+                }
                 next.arm(target + next.interval);
             });
             m->slots_[static_cast<std::size_t>(next.slot)].pending = id;
@@ -153,6 +179,14 @@ UTimerModel::startPeriodic(int slot, TimeNs interval,
 
     Chain chain{this, slot, gen, interval};
     chain.arm(sim_.now() + interval);
+}
+
+void
+UTimerModel::noteRedundantFire(TimeNs now)
+{
+    ++redundantFires_;
+    obs::emit(obs::EventKind::TimerCancel, traceCore_, now, 0, 0, 1);
+    obs::addCount("utimer.redundant_fires");
 }
 
 void

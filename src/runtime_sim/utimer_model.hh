@@ -49,6 +49,14 @@ struct FirePlan
     TimeNs workerOverhead = 0;
     /** CPU cost on the timer core for this fire. */
     TimeNs timerCoreCost = 0;
+    /** Fault injection: the notification is lost in transit — the
+     *  handler never runs and the owner must recover (watchdog). */
+    bool dropped = false;
+    /** Fault injection: a duplicated copy of the fire arrives
+     *  duplicateDelay ns after handlerEntry; it must be a counted
+     *  no-op when the segment already ended. */
+    bool duplicated = false;
+    TimeNs duplicateDelay = 0;
 };
 
 /** Model of the LibUtimer timer core. */
@@ -112,6 +120,21 @@ class UTimerModel
     /** Count of fires planned/delivered so far. */
     std::uint64_t fires() const { return fires_; }
 
+    /** Periodic-chain fires that lost the generation race against
+     *  stopPeriodic(); counted no-ops, never handler entries. */
+    std::uint64_t staleFires() const { return staleFires_; }
+
+    /** Periodic fires lost to injected drop faults (chain continues). */
+    std::uint64_t droppedFires() const { return droppedFires_; }
+
+    /** Duplicated fires that found their segment already over; the
+     *  owning runtime reports them via noteRedundantFire(). */
+    std::uint64_t redundantFires() const { return redundantFires_; }
+
+    /** Record a duplicated fire that arrived after the armed deadline
+     *  was cancelled/served: a counted no-op. */
+    void noteRedundantFire(TimeNs now);
+
     /** Trace track (machine core id) of the timer core; the owning
      *  runtime knows the topology, the model does not. */
     void setTraceCore(unsigned core) { traceCore_ = core; }
@@ -146,6 +169,9 @@ class UTimerModel
     Rng rng_;
     std::vector<Slot> slots_;
     std::uint64_t fires_;
+    std::uint64_t staleFires_ = 0;
+    std::uint64_t droppedFires_ = 0;
+    std::uint64_t redundantFires_ = 0;
     TimeNs timerBusy_;
     unsigned traceCore_ = 0;
 };

@@ -1,0 +1,702 @@
+/**
+ * @file
+ * Tests for the fault:: injection subsystem: spec grammar, per-rule
+ * determinism, the exact semantics of every (action, site) combination,
+ * and the runtime mitigations (resend watchdog, fire watchdog,
+ * duplicate hardening) each fault exercises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/stats.hh"
+#include "core/timing_wheel.hh"
+#include "fault/fault.hh"
+#include "hw/kernel.hh"
+#include "hw/posted_ipi.hh"
+#include "hw/uintr.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace preempt::fault {
+namespace {
+
+/** RAII install/uninstall so a failing assertion cannot leak an
+ *  injector into the next test. */
+struct InjectorGuard
+{
+    InjectorGuard(const std::string &spec, std::uint64_t seed)
+        : inj(FaultPlan::parse(spec), seed)
+    {
+        setInjector(&inj);
+    }
+
+    ~InjectorGuard() { setInjector(nullptr); }
+
+    Injector inj;
+};
+
+// ----- Grammar ------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesRulesAndRoundTrips)
+{
+    std::string spec =
+        "drop:uintr@0.01,delay:wake@0.1:2500,jitter:utimer@0.05:1500";
+    FaultPlan plan = FaultPlan::parse(spec);
+    ASSERT_EQ(plan.rules.size(), 3u);
+
+    EXPECT_EQ(plan.rules[0].action, Action::Drop);
+    EXPECT_EQ(plan.rules[0].site, Site::Uintr);
+    EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.01);
+    EXPECT_EQ(plan.rules[0].param, 0u);
+
+    EXPECT_EQ(plan.rules[1].action, Action::Delay);
+    EXPECT_EQ(plan.rules[1].site, Site::Wake);
+    EXPECT_DOUBLE_EQ(plan.rules[1].probability, 0.1);
+    EXPECT_EQ(plan.rules[1].param, 2500u);
+
+    EXPECT_EQ(plan.rules[2].action, Action::Jitter);
+    EXPECT_EQ(plan.rules[2].site, Site::Utimer);
+    EXPECT_DOUBLE_EQ(plan.rules[2].probability, 0.05);
+    EXPECT_EQ(plan.rules[2].param, 1500u);
+
+    // Canonical reprint parses back to the same plan.
+    EXPECT_EQ(plan.str(), spec);
+    FaultPlan again = FaultPlan::parse(plan.str());
+    EXPECT_EQ(again.str(), plan.str());
+}
+
+TEST(FaultPlanTest, EmptySpecsGiveEmptyPlan)
+{
+    EXPECT_TRUE(FaultPlan::parse("").empty());
+    EXPECT_TRUE(FaultPlan::parse("none").empty());
+    EXPECT_EQ(FaultPlan::parse("none").str(), "none");
+}
+
+TEST(FaultPlanTest, MalformedSpecsAreFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("boom:uintr@0.5"),
+                testing::ExitedWithCode(1), "unknown fault action");
+    EXPECT_EXIT(FaultPlan::parse("drop:nowhere@0.5"),
+                testing::ExitedWithCode(1), "unknown fault site");
+    EXPECT_EXIT(FaultPlan::parse("drop:uintr"),
+                testing::ExitedWithCode(1), "malformed fault rule");
+    EXPECT_EXIT(FaultPlan::parse("drop@0.5"),
+                testing::ExitedWithCode(1), "malformed fault rule");
+    EXPECT_EXIT(FaultPlan::parse("drop:uintr@1.5"),
+                testing::ExitedWithCode(1), "probability");
+    EXPECT_EXIT(FaultPlan::parse("drop:uintr@-0.5"),
+                testing::ExitedWithCode(1), "probability");
+    EXPECT_EXIT(FaultPlan::parse("drop:uintr@zzz"),
+                testing::ExitedWithCode(1), "probability");
+    EXPECT_EXIT(FaultPlan::parse("drop:uintr@0.5:-5"),
+                testing::ExitedWithCode(1), "param");
+}
+
+TEST(FaultPlanTest, InvalidActionSiteCombosAreFatal)
+{
+    // One representative rejection per site.
+    EXPECT_EXIT(FaultPlan::parse("slow:uintr@1"),
+                testing::ExitedWithCode(1), "not supported");
+    EXPECT_EXIT(FaultPlan::parse("coalesce:ipi@1"),
+                testing::ExitedWithCode(1), "not supported");
+    EXPECT_EXIT(FaultPlan::parse("dup:signal@1"),
+                testing::ExitedWithCode(1), "not supported");
+    EXPECT_EXIT(FaultPlan::parse("reorder:utimer@1"),
+                testing::ExitedWithCode(1), "not supported");
+    EXPECT_EXIT(FaultPlan::parse("drop:wheel@1"),
+                testing::ExitedWithCode(1), "not supported");
+    EXPECT_EXIT(FaultPlan::parse("drop:handler@1"),
+                testing::ExitedWithCode(1), "not supported");
+    EXPECT_EXIT(FaultPlan::parse("slow:wake@1"),
+                testing::ExitedWithCode(1), "not supported");
+}
+
+// ----- Injector core ------------------------------------------------
+
+TEST(FaultInjectorTest, NullSafeHelpersAreIdentityWhenUninstalled)
+{
+    ASSERT_FALSE(active());
+    TransportFault t = onTransport(Site::Uintr, 100, 0);
+    EXPECT_FALSE(t.drop);
+    EXPECT_EQ(t.delay, 0u);
+    EXPECT_FALSE(t.duplicate);
+    TimerFault tm = onTimer(Site::Utimer, 100, 0);
+    EXPECT_FALSE(tm.drop);
+    EXPECT_FALSE(tm.coalesce);
+    EXPECT_FALSE(tm.duplicate);
+    EXPECT_EQ(tm.jitter, 0u);
+    EXPECT_EQ(onHandler(100, 0), 0u);
+}
+
+TEST(FaultInjectorTest, EveryValidComboTriggersCountsAndEmits)
+{
+    struct Combo
+    {
+        Action action;
+        Site site;
+        bool transportSite;
+    };
+    const Combo combos[] = {
+        {Action::Drop, Site::Uintr, true},
+        {Action::Delay, Site::Uintr, true},
+        {Action::Duplicate, Site::Uintr, true},
+        {Action::Reorder, Site::Uintr, true},
+        {Action::Drop, Site::Wake, true},
+        {Action::Delay, Site::Wake, true},
+        {Action::Duplicate, Site::Wake, true},
+        {Action::Drop, Site::Ipi, true},
+        {Action::Delay, Site::Ipi, true},
+        {Action::Duplicate, Site::Ipi, true},
+        {Action::Reorder, Site::Ipi, true},
+        {Action::Drop, Site::Signal, true},
+        {Action::Delay, Site::Signal, true},
+        {Action::Reorder, Site::Signal, true},
+        {Action::Drop, Site::Utimer, false},
+        {Action::Coalesce, Site::Utimer, false},
+        {Action::Jitter, Site::Utimer, false},
+        {Action::Duplicate, Site::Utimer, false},
+        {Action::Coalesce, Site::Wheel, false},
+        {Action::Jitter, Site::Wheel, false},
+    };
+
+    obs::MetricsRegistry registry;
+    obs::setMetricsRegistry(&registry);
+
+    for (const Combo &c : combos) {
+        std::string spec = std::string(actionName(c.action)) + ":" +
+                           siteName(c.site) + "@1";
+        if (c.action == Action::Delay)
+            spec += ":1234";
+        InjectorGuard guard(spec, 42);
+        SCOPED_TRACE(spec);
+
+        if (c.transportSite) {
+            TransportFault f = guard.inj.transport(c.site, 10, 0);
+            switch (c.action) {
+              case Action::Drop:
+                EXPECT_TRUE(f.drop);
+                break;
+              case Action::Delay:
+                EXPECT_EQ(f.delay, 1234u); // exactly the param
+                break;
+              case Action::Reorder:
+                // Uniform in the [1, default window] range.
+                EXPECT_GE(f.delay, 1u);
+                EXPECT_LE(f.delay, 2000u);
+                break;
+              case Action::Duplicate:
+                EXPECT_TRUE(f.duplicate);
+                EXPECT_EQ(f.duplicateDelay, 700u); // default
+                break;
+              default:
+                FAIL();
+            }
+        } else {
+            TimerFault f = guard.inj.timer(c.site, 10, 0);
+            switch (c.action) {
+              case Action::Drop:
+                EXPECT_TRUE(f.drop);
+                break;
+              case Action::Coalesce:
+                EXPECT_TRUE(f.coalesce);
+                break;
+              case Action::Jitter:
+                EXPECT_GE(f.jitter, 1u);
+                EXPECT_LE(f.jitter, 1500u); // default window
+                break;
+              case Action::Duplicate:
+                EXPECT_TRUE(f.duplicate);
+                EXPECT_EQ(f.duplicateDelay, 700u);
+                break;
+              default:
+                FAIL();
+            }
+        }
+        EXPECT_EQ(guard.inj.injected(c.action, c.site), 1u);
+        EXPECT_EQ(guard.inj.totalInjected(), 1u);
+        // Each injection bumps its per-combo obs counter.
+        std::string counter = std::string("fault.injected.") +
+                              actionName(c.action) + ":" +
+                              siteName(c.site);
+        EXPECT_EQ(registry.counter(counter).value(), 1u);
+    }
+
+    // The remaining valid combo: slow:handler.
+    {
+        InjectorGuard guard("slow:handler@1", 42);
+        EXPECT_EQ(guard.inj.handlerSlowdown(10, 0), 2000u); // default
+        EXPECT_EQ(guard.inj.injected(Action::Slow, Site::Handler), 1u);
+        EXPECT_EQ(registry.counter("fault.injected.slow:handler").value(),
+                  1u);
+    }
+    {
+        InjectorGuard guard("slow:handler@1:555", 42);
+        EXPECT_EQ(guard.inj.handlerSlowdown(10, 0), 555u);
+    }
+
+    obs::setMetricsRegistry(nullptr);
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlanIsDeterministic)
+{
+    const char *spec = "drop:uintr@0.3,delay:wake@0.5:100,reorder:ipi@0.4";
+    Injector a(FaultPlan::parse(spec), 99);
+    Injector b(FaultPlan::parse(spec), 99);
+    Injector c(FaultPlan::parse(spec), 100);
+
+    bool differs_from_c = false;
+    for (int i = 0; i < 200; ++i) {
+        Site site = i % 3 == 0 ? Site::Uintr
+                               : (i % 3 == 1 ? Site::Wake : Site::Ipi);
+        TransportFault fa = a.transport(site, i, 0);
+        TransportFault fb = b.transport(site, i, 0);
+        TransportFault fc = c.transport(site, i, 0);
+        EXPECT_EQ(fa.drop, fb.drop) << "i=" << i;
+        EXPECT_EQ(fa.delay, fb.delay) << "i=" << i;
+        EXPECT_EQ(fa.duplicate, fb.duplicate) << "i=" << i;
+        if (fa.drop != fc.drop || fa.delay != fc.delay)
+            differs_from_c = true;
+    }
+    EXPECT_EQ(a.totalInjected(), b.totalInjected());
+    EXPECT_TRUE(differs_from_c) << "different seeds gave the same "
+                                   "200-event fault schedule";
+}
+
+// ----- Transport faults against hw:: models -------------------------
+
+TEST(FaultTransportTest, UintrDelayIsExactlyTheParam)
+{
+    TimeNs base = 0;
+    {
+        sim::Simulator sim(7);
+        hw::LatencyConfig cfg;
+        hw::UintrUnit unit(sim, cfg);
+        int rx = unit.registerHandler(
+            [&](TimeNs t, std::uint64_t) { base = t; });
+        int uipi = unit.registerSender(unit.createFd(rx, 0));
+        unit.senduipi(uipi);
+        sim.runAll();
+        ASSERT_GT(base, 0u);
+    }
+    TimeNs faulted = 0;
+    {
+        InjectorGuard guard("delay:uintr@1:3000", 1);
+        sim::Simulator sim(7); // same seed: same base latency sample
+        hw::LatencyConfig cfg;
+        hw::UintrUnit unit(sim, cfg);
+        int rx = unit.registerHandler(
+            [&](TimeNs t, std::uint64_t) { faulted = t; });
+        int uipi = unit.registerSender(unit.createFd(rx, 0));
+        unit.senduipi(uipi);
+        sim.runAll();
+    }
+    EXPECT_EQ(faulted, base + 3000);
+}
+
+TEST(FaultTransportTest, BlockedWakeDelayIsExactlyTheParam)
+{
+    TimeNs base = 0;
+    {
+        sim::Simulator sim(11);
+        hw::LatencyConfig cfg;
+        hw::UintrUnit unit(sim, cfg);
+        int rx = unit.registerHandler(
+            [&](TimeNs t, std::uint64_t) { base = t; });
+        int uipi = unit.registerSender(unit.createFd(rx, 0));
+        unit.setBlocked(rx, true);
+        unit.senduipi(uipi);
+        sim.runAll();
+        ASSERT_GT(base, 0u);
+    }
+    TimeNs faulted = 0;
+    {
+        InjectorGuard guard("delay:wake@1:4500", 1);
+        sim::Simulator sim(11);
+        hw::LatencyConfig cfg;
+        hw::UintrUnit unit(sim, cfg);
+        int rx = unit.registerHandler(
+            [&](TimeNs t, std::uint64_t) { faulted = t; });
+        int uipi = unit.registerSender(unit.createFd(rx, 0));
+        unit.setBlocked(rx, true);
+        unit.senduipi(uipi);
+        sim.runAll();
+    }
+    EXPECT_EQ(faulted, base + 4500);
+}
+
+TEST(FaultTransportTest, PostedIpiDelayIsExactAndDropRetries)
+{
+    TimeNs base = 0;
+    {
+        sim::Simulator sim(13);
+        hw::LatencyConfig cfg;
+        hw::PostedIpiUnit ipi(sim, cfg);
+        int t = ipi.attachTarget([&](TimeNs now) { base = now; });
+        ipi.sendIpi(t);
+        sim.runAll();
+        ASSERT_GT(base, 0u);
+    }
+    TimeNs faulted = 0;
+    {
+        InjectorGuard guard("delay:ipi@1:2222", 1);
+        sim::Simulator sim(13);
+        hw::LatencyConfig cfg;
+        hw::PostedIpiUnit ipi(sim, cfg);
+        int t = ipi.attachTarget([&](TimeNs now) { faulted = now; });
+        ipi.sendIpi(t);
+        sim.runAll();
+    }
+    EXPECT_EQ(faulted, base + 2222);
+
+    // A dropped IPI never sets the pending bit, so a later send is not
+    // coalesced away: the retry delivers.
+    int delivered = 0;
+    sim::Simulator sim(13);
+    hw::LatencyConfig cfg;
+    hw::PostedIpiUnit ipi(sim, cfg);
+    int t = ipi.attachTarget([&](TimeNs) { ++delivered; });
+    {
+        InjectorGuard guard("drop:ipi@1", 1);
+        ipi.sendIpi(t);
+        sim.runAll();
+        EXPECT_EQ(delivered, 0);
+        EXPECT_EQ(ipi.stats().dropped, 1u);
+    }
+    ipi.sendIpi(t);
+    sim.runAll();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(ipi.stats().delivered, 1u);
+}
+
+TEST(FaultTransportTest, PostedIpiDuplicateIsCountedNoOp)
+{
+    InjectorGuard guard("dup:ipi@1:900", 1);
+    sim::Simulator sim(17);
+    hw::LatencyConfig cfg;
+    hw::PostedIpiUnit ipi(sim, cfg);
+    int delivered = 0;
+    int t = ipi.attachTarget([&](TimeNs) { ++delivered; });
+    ipi.sendIpi(t);
+    sim.runAll();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(ipi.stats().delivered, 1u);
+    EXPECT_EQ(ipi.stats().redundant, 1u);
+}
+
+TEST(FaultTransportTest, SignalDelayIsExactAndDropIsCounted)
+{
+    TimeNs base = 0;
+    {
+        sim::Simulator sim(19);
+        hw::LatencyConfig cfg;
+        hw::SignalPath signals(sim, cfg);
+        signals.sendSignal([&](TimeNs now, TimeNs) { base = now; });
+        sim.runAll();
+        ASSERT_GT(base, 0u);
+    }
+    TimeNs faulted = 0;
+    {
+        InjectorGuard guard("delay:signal@1:1777", 1);
+        sim::Simulator sim(19);
+        hw::LatencyConfig cfg;
+        hw::SignalPath signals(sim, cfg);
+        signals.sendSignal([&](TimeNs now, TimeNs) { faulted = now; });
+        sim.runAll();
+    }
+    EXPECT_EQ(faulted, base + 1777);
+
+    InjectorGuard guard("drop:signal@1", 1);
+    sim::Simulator sim(19);
+    hw::LatencyConfig cfg;
+    hw::SignalPath signals(sim, cfg);
+    int entries = 0;
+    signals.sendSignal([&](TimeNs, TimeNs) { ++entries; });
+    sim.runAll();
+    EXPECT_EQ(entries, 0);
+    EXPECT_EQ(signals.dropped(), 1u);
+    EXPECT_EQ(signals.delivered(), 0u);
+}
+
+// ----- UINTR duplicate hardening and resend watchdog ----------------
+
+TEST(FaultUintrTest, DuplicateNotificationForClearedPirIsCountedNoOp)
+{
+    InjectorGuard guard("dup:uintr@1:700", 1);
+    sim::Simulator sim(23);
+    hw::LatencyConfig cfg;
+    hw::UintrUnit unit(sim, cfg);
+    int deliveries = 0;
+    int rx = unit.registerHandler(
+        [&](TimeNs, std::uint64_t) { ++deliveries; });
+    int uipi = unit.registerSender(unit.createFd(rx, 0));
+    unit.senduipi(uipi);
+    sim.runAll();
+    EXPECT_EQ(deliveries, 1);
+    EXPECT_EQ(unit.stats().redundant, 1u);
+    EXPECT_EQ(unit.pending(rx), 0u);
+}
+
+TEST(FaultUintrTest, DuplicateWakeAfterResumeIsCountedNoOp)
+{
+    InjectorGuard guard("dup:wake@1", 1);
+    sim::Simulator sim(29);
+    hw::LatencyConfig cfg;
+    hw::UintrUnit unit(sim, cfg);
+    int deliveries = 0;
+    int wakes = 0;
+    int rx = unit.registerHandler(
+        [&](TimeNs, std::uint64_t) { ++deliveries; },
+        [&](TimeNs) { ++wakes; });
+    int uipi = unit.registerSender(unit.createFd(rx, 0));
+    unit.setBlocked(rx, true);
+    unit.senduipi(uipi);
+    sim.runAll();
+    EXPECT_EQ(deliveries, 1);
+    EXPECT_EQ(wakes, 1);
+    EXPECT_EQ(unit.stats().deliveredBlocked, 1u);
+    EXPECT_EQ(unit.stats().redundant, 1u);
+}
+
+TEST(FaultUintrTest, DroppedNotificationRecoveredByResendWatchdog)
+{
+    sim::Simulator sim(31);
+    hw::LatencyConfig cfg;
+    hw::UintrUnit unit(sim, cfg);
+    int deliveries = 0;
+    int rx = unit.registerHandler(
+        [&](TimeNs, std::uint64_t) { ++deliveries; });
+    int uipi = unit.registerSender(unit.createFd(rx, 0));
+    {
+        InjectorGuard guard("drop:uintr@1", 1);
+        unit.senduipi(uipi); // notify() drops synchronously
+        EXPECT_EQ(unit.stats().droppedNotifications, 1u);
+        EXPECT_EQ(unit.pending(rx), 1u);
+    }
+    // The fault clears; the armed resend watchdog re-notifies and the
+    // request finally lands.
+    sim.runAll();
+    EXPECT_EQ(deliveries, 1);
+    EXPECT_EQ(unit.stats().resends, 1u);
+    EXPECT_EQ(unit.pending(rx), 0u);
+}
+
+TEST(FaultUintrTest, PersistentDropAbandonsResendAfterBudget)
+{
+    InjectorGuard guard("drop:uintr@1", 1);
+    sim::Simulator sim(37);
+    hw::LatencyConfig cfg;
+    hw::UintrUnit unit(sim, cfg);
+    int deliveries = 0;
+    int rx = unit.registerHandler(
+        [&](TimeNs, std::uint64_t) { ++deliveries; });
+    int uipi = unit.registerSender(unit.createFd(rx, 0));
+    unit.senduipi(uipi);
+    sim.runAll();
+    EXPECT_EQ(deliveries, 0);
+    EXPECT_EQ(unit.stats().resends, 5u); // kResendMaxAttempts
+    EXPECT_EQ(unit.stats().resendsAbandoned, 1u);
+    EXPECT_EQ(unit.stats().droppedNotifications, 6u);
+    EXPECT_EQ(unit.pending(rx), 1u); // still accounted, not lost
+}
+
+// ----- Timing wheel: defer, never drop ------------------------------
+
+TEST(FaultWheelTest, CoalesceDefersFiresWithoutLosingThem)
+{
+    sim::Simulator sim(41);
+    core::TimingWheel wheel(1000);
+    int fired = 0;
+    wheel.schedule(5000, 1);
+    {
+        InjectorGuard guard("coalesce:wheel@1", 1);
+        wheel.advance(5000,
+                      [&](std::uint64_t, TimeNs) { ++fired; });
+        EXPECT_EQ(fired, 0);
+        EXPECT_GE(wheel.deferredFires(), 1u);
+        EXPECT_EQ(wheel.size(), 1u); // still armed
+    }
+    wheel.advance(20000, [&](std::uint64_t, TimeNs) { ++fired; });
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(FaultWheelTest, JitterDelaysFiresWithinTheWindow)
+{
+    core::TimingWheel wheel(1000);
+    int fired = 0;
+    TimeNs fired_at = 0;
+    wheel.schedule(5000, 1);
+    {
+        InjectorGuard guard("jitter:wheel@1:3000", 1);
+        wheel.advance(5000, [&](std::uint64_t, TimeNs) { ++fired; });
+        EXPECT_EQ(fired, 0);
+        EXPECT_GE(wheel.deferredFires(), 1u);
+    }
+    wheel.advance(20000, [&](std::uint64_t, TimeNs when) {
+        ++fired;
+        fired_at = when;
+    });
+    EXPECT_EQ(fired, 1);
+    EXPECT_GT(fired_at, 5000u);
+    EXPECT_LE(fired_at, 5000u + 3000u);
+}
+
+// ----- Runtime-level mitigations ------------------------------------
+
+struct LpRunSummary
+{
+    std::uint64_t arrived = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t watchdogRecoveries = 0;
+    std::uint64_t redundantFires = 0;
+    std::uint64_t droppedFires = 0;
+    bool allDone = true;
+    TimeNs p99 = 0;
+};
+
+/** Run a small LibPreemptible workload, optionally under faults. */
+LpRunSummary
+runLibPreemptible(std::uint64_t sim_seed, const std::string &spec,
+                  std::uint64_t fault_seed)
+{
+    std::optional<InjectorGuard> guard;
+    if (!spec.empty())
+        guard.emplace(spec, fault_seed);
+
+    sim::Simulator sim(sim_seed);
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = 2;
+    rc.quantum = usToNs(5);
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+
+    TimeNs duration = msToNs(5);
+    // ~30% of two-worker capacity at a 5 us mean: low enough that the
+    // system drains even with every fire dropped.
+    double rps = 0.3 * 2.0 / 5e-6;
+    workload::WorkloadSpec wspec{
+        workload::makeServiceLaw("A1", duration),
+        workload::RateLaw::constant(rps), duration};
+    workload::OpenLoopGenerator gen(
+        sim, std::move(wspec),
+        [&](workload::Request &r) { server.onArrival(r); });
+    gen.start();
+    sim.runUntil(duration + secToNs(30));
+
+    LpRunSummary out;
+    out.arrived = server.metrics().arrived();
+    out.completed = server.metrics().completed();
+    out.watchdogRecoveries = server.watchdogRecoveries();
+    out.redundantFires = server.utimer().redundantFires();
+    out.droppedFires = server.utimer().droppedFires();
+    std::vector<TimeNs> lat;
+    for (const auto &req : gen.pool()) {
+        if (!req.done()) {
+            out.allDone = false;
+            continue;
+        }
+        lat.push_back(req.latency());
+    }
+    if (!lat.empty())
+        out.p99 = percentileNearestRank(lat, 0.99);
+    return out;
+}
+
+TEST(FaultRuntimeTest, DroppedUtimerFiresRecoveredByFireWatchdog)
+{
+    LpRunSummary s = runLibPreemptible(43, "drop:utimer@1", 2);
+    EXPECT_GT(s.arrived, 100u);
+    EXPECT_EQ(s.arrived, s.completed);
+    EXPECT_TRUE(s.allDone);
+    // Every preemption fire was lost; only the watchdog can have ended
+    // those segments.
+    EXPECT_GT(s.watchdogRecoveries, 0u);
+}
+
+TEST(FaultRuntimeTest, DuplicatedUtimerFiresAreCountedNoOps)
+{
+    LpRunSummary s = runLibPreemptible(47, "dup:utimer@1:500", 2);
+    EXPECT_GT(s.arrived, 100u);
+    EXPECT_EQ(s.arrived, s.completed);
+    EXPECT_TRUE(s.allDone);
+    EXPECT_GT(s.redundantFires, 0u);
+}
+
+TEST(FaultRuntimeTest, SlowHandlersDegradeButConserveRequests)
+{
+    LpRunSummary s = runLibPreemptible(53, "slow:handler@0.5:3000", 2);
+    EXPECT_GT(s.arrived, 100u);
+    EXPECT_EQ(s.arrived, s.completed);
+    EXPECT_TRUE(s.allDone);
+}
+
+TEST(FaultRuntimeTest, SameSeedSamePlanGivesByteIdenticalTraces)
+{
+    auto traced = [](std::uint64_t sim_seed) {
+        obs::Tracer tracer;
+        obs::setTracer(&tracer);
+        InjectorGuard guard(
+            "drop:utimer@0.2,dup:utimer@0.2,slow:handler@0.3", 9);
+        runLibPreemptible(sim_seed, "", 0); // guard already installed
+        obs::setTracer(nullptr);
+        std::ostringstream os;
+        obs::writeChromeTrace(tracer, os);
+        return os.str();
+    };
+    std::string a = traced(61);
+    std::string b = traced(61);
+    EXPECT_GT(a.size(), 1000u);
+    EXPECT_EQ(a, b);
+}
+
+// ----- CLI session --------------------------------------------------
+
+TEST(FaultSessionTest, InstallsOnlyForNonEmptyPlans)
+{
+    {
+        char p0[] = "prog";
+        char *argv[] = {p0};
+        CommandLine cli(1, argv);
+        Session session(cli);
+        cli.rejectUnknown();
+        EXPECT_FALSE(session.active());
+        EXPECT_FALSE(active());
+    }
+    {
+        char p0[] = "prog";
+        char p1[] = "--faults=none";
+        char *argv[] = {p0, p1};
+        CommandLine cli(2, argv);
+        Session session(cli);
+        cli.rejectUnknown();
+        EXPECT_FALSE(session.active());
+        EXPECT_FALSE(active());
+    }
+    {
+        char p0[] = "prog";
+        char p1[] = "--faults=drop:uintr@0.5";
+        char p2[] = "--fault-seed=7";
+        char *argv[] = {p0, p1, p2};
+        CommandLine cli(3, argv);
+        Session session(cli);
+        cli.rejectUnknown();
+        EXPECT_TRUE(session.active());
+        EXPECT_TRUE(active());
+        EXPECT_EQ(session.injector()->seed(), 7u);
+        EXPECT_EQ(session.injector()->plan().str(), "drop:uintr@0.5");
+    }
+    EXPECT_FALSE(active()); // the session uninstalls on destruction
+}
+
+} // namespace
+} // namespace preempt::fault

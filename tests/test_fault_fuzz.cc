@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Schedule fuzzing under random fault plans (the tentpole harness):
+ * many seeded configurations, each running either a UINTR state-machine
+ * op fuzz or a full LibPreemptible workload with a randomly composed
+ * `--faults=` plan, checked against the global invariants of DESIGN.md
+ * section 9 — no lost tasks, no double dispatch, monotone virtual
+ * time, every send delivered-or-accounted, bounded tail degradation.
+ * Every assertion message carries the seed and the plan string, so any
+ * failure reproduces from its log line alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "fault/fault.hh"
+#include "hw/uintr.hh"
+#include "obs/export.hh"
+#include "obs/trace.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace preempt::fault {
+namespace {
+
+struct InjectorGuard
+{
+    InjectorGuard(const FaultPlan &plan, std::uint64_t seed)
+        : inj(plan, seed)
+    {
+        setInjector(&inj);
+    }
+
+    ~InjectorGuard() { setInjector(nullptr); }
+
+    Injector inj;
+};
+
+/** Compose a random plan from a candidate rule set: each candidate is
+ *  included with probability ~1/2 at a random moderate probability. */
+FaultPlan
+randomPlan(Rng &pick, const std::vector<std::pair<Action, Site>> &pool,
+           double max_prob)
+{
+    FaultPlan plan;
+    for (const auto &[action, site] : pool) {
+        if (pick.below(2) == 0)
+            continue;
+        FaultRule rule;
+        rule.action = action;
+        rule.site = site;
+        rule.probability = 0.02 + (max_prob - 0.02) * pick.uniform();
+        rule.param = 0;
+        if (action == Action::Delay)
+            rule.param = 100 + pick.below(4000);
+        else if (action == Action::Slow)
+            rule.param = 500 + pick.below(3000);
+        plan.rules.push_back(rule);
+    }
+    return plan;
+}
+
+// ----- UINTR state-machine op fuzz ----------------------------------
+
+/**
+ * Random op sequences (send / block / unblock / deschedule / resume /
+ * CLUI / STUI / uiret) against UintrUnit under random transport fault
+ * plans. After the fault window closes, a final set of enabling
+ * transitions must drain every parked PIR: no state combination plus
+ * fault may strand a request.
+ */
+class UintrOpFuzz : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UintrOpFuzz, NoOpSequenceUnderFaultsStrandsThePir)
+{
+    std::uint64_t seed = GetParam();
+    Rng pick(seed);
+
+    const std::vector<std::pair<Action, Site>> pool = {
+        {Action::Drop, Site::Uintr},     {Action::Delay, Site::Uintr},
+        {Action::Duplicate, Site::Uintr}, {Action::Reorder, Site::Uintr},
+        {Action::Drop, Site::Wake},      {Action::Delay, Site::Wake},
+        {Action::Duplicate, Site::Wake},
+    };
+    FaultPlan plan = randomPlan(pick, pool, 0.6);
+    std::string ctx = "seed=" + std::to_string(seed) +
+                      " plan=" + plan.str();
+
+    sim::Simulator sim(seed * 7919 + 13);
+    hw::LatencyConfig cfg;
+    hw::UintrUnit unit(sim, cfg);
+
+    int n_rx = 1 + static_cast<int>(pick.below(3));
+    std::vector<std::uint64_t> deliveries(
+        static_cast<std::size_t>(n_rx), 0);
+    std::vector<TimeNs> last_ts(static_cast<std::size_t>(n_rx), 0);
+    std::vector<int> senders;
+    bool monotone = true;
+    bool nonempty_vectors = true;
+    for (int i = 0; i < n_rx; ++i) {
+        unit.registerHandler(
+            [&, i](TimeNs t, std::uint64_t vectors) {
+                std::size_t idx = static_cast<std::size_t>(i);
+                ++deliveries[idx];
+                if (t < last_ts[idx])
+                    monotone = false;
+                last_ts[idx] = t;
+                if (vectors == 0)
+                    nonempty_vectors = false;
+            },
+            [](TimeNs) {});
+        senders.push_back(
+            unit.registerSender(unit.createFd(i, i % 64)));
+    }
+
+    std::uint64_t sends = 0;
+    {
+        InjectorGuard guard(plan, seed * 31 + 7);
+        for (int op = 0; op < 200; ++op) {
+            int rx = static_cast<int>(pick.below(
+                static_cast<std::uint32_t>(n_rx)));
+            switch (pick.below(8)) {
+              case 0:
+              case 1:
+              case 2:
+                unit.senduipi(senders[static_cast<std::size_t>(rx)]);
+                ++sends;
+                break;
+              case 3:
+                if (!unit.blocked(rx))
+                    unit.setBlocked(rx, true);
+                break;
+              case 4:
+                if (unit.blocked(rx))
+                    unit.setBlocked(rx, false);
+                else
+                    unit.setRunning(rx, !unit.running(rx));
+                break;
+              case 5:
+                unit.setUif(rx, pick.below(2) == 0);
+                break;
+              case 6:
+                unit.uiret(rx);
+                break;
+              case 7:
+                sim.runUntil(sim.now() + 1 + pick.below(20000));
+                break;
+            }
+        }
+        sim.runUntil(sim.now() + usToNs(200));
+    }
+
+    // Fault window over: enabling transitions must recognise every
+    // parked request (recovery paths are never fault-injected).
+    for (int i = 0; i < n_rx; ++i) {
+        if (unit.blocked(i))
+            unit.setBlocked(i, false);
+        unit.setUif(i, true);
+        unit.setRunning(i, true);
+    }
+    sim.runAll();
+    // A delivery can clear UIF again with vectors still posted behind
+    // it; a second STUI round drains those.
+    for (int i = 0; i < n_rx; ++i) {
+        unit.setUif(i, true);
+        unit.setRunning(i, true);
+    }
+    sim.runAll();
+
+    for (int i = 0; i < n_rx; ++i) {
+        EXPECT_EQ(unit.pending(i), 0u)
+            << ctx << " rx=" << i << " stranded PIR";
+    }
+    EXPECT_TRUE(monotone) << ctx << " handler timestamps went backwards";
+    EXPECT_TRUE(nonempty_vectors) << ctx << " empty-vector delivery";
+
+    // Every send delivered-or-accounted: sends either entered a
+    // handler batch, were absorbed into an already-pending PIR, or
+    // were explicitly counted as faulted/raced.
+    const hw::UintrStats &st = unit.stats();
+    std::uint64_t handler_entries = 0;
+    for (int i = 0; i < n_rx; ++i)
+        handler_entries += deliveries[static_cast<std::size_t>(i)];
+    EXPECT_EQ(handler_entries, st.deliveredRunning + st.deliveredBlocked)
+        << ctx;
+    EXPECT_EQ(st.sends, sends) << ctx;
+    EXPECT_LE(st.deliveredRunning + st.deliveredBlocked, st.sends)
+        << ctx << " more deliveries than sends (double dispatch)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UintrOpFuzz,
+                         testing::Range<std::uint64_t>(1, 601));
+
+// ----- Full-runtime schedule fuzz -----------------------------------
+
+/**
+ * Random LibPreemptible configurations under random utimer/handler (or
+ * signal, for the no-UINTR ablation) fault plans: conservation,
+ * causality and a bounded tail must survive every plan.
+ */
+class RuntimeFaultFuzz : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RuntimeFaultFuzz, RandomPlanHoldsGlobalInvariants)
+{
+    std::uint64_t seed = GetParam();
+    Rng pick(seed ^ 0xfa17);
+
+    bool nouintr = pick.below(5) == 0;
+    std::vector<std::pair<Action, Site>> pool = {
+        {Action::Drop, Site::Utimer},
+        {Action::Coalesce, Site::Utimer},
+        {Action::Jitter, Site::Utimer},
+        {Action::Duplicate, Site::Utimer},
+        {Action::Slow, Site::Handler},
+    };
+    if (nouintr) {
+        pool.push_back({Action::Drop, Site::Signal});
+        pool.push_back({Action::Delay, Site::Signal});
+        pool.push_back({Action::Reorder, Site::Signal});
+    }
+    FaultPlan plan = randomPlan(pick, pool, 0.3);
+
+    int workers = 1 + static_cast<int>(pick.below(4));
+    TimeNs quantum = usToNs(3 + pick.below(20));
+    double rps = (0.15 + 0.25 * pick.uniform()) *
+                 static_cast<double>(workers) / 5e-6;
+    TimeNs duration = msToNs(3 + pick.below(5));
+
+    std::string ctx = "seed=" + std::to_string(seed) +
+                      " plan=" + plan.str() +
+                      " workers=" + std::to_string(workers) +
+                      " quantum=" + std::to_string(quantum) +
+                      (nouintr ? " delivery=signal" : " delivery=uintr");
+
+    std::optional<InjectorGuard> guard;
+    if (!plan.empty())
+        guard.emplace(plan, seed * 131 + 5);
+
+    sim::Simulator sim(seed * 7919 + 13);
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = workers;
+    rc.quantum = quantum;
+    rc.workStealing = pick.below(2) == 1;
+    rc.policy = pick.below(2) == 1
+                    ? runtime_sim::SchedPolicy::NewFirst
+                    : runtime_sim::SchedPolicy::RoundRobin;
+    if (nouintr)
+        rc.delivery = runtime_sim::TimerDelivery::KernelSignal;
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+
+    workload::WorkloadSpec spec{
+        workload::makeServiceLaw("A1", duration),
+        workload::RateLaw::constant(rps), duration};
+    workload::OpenLoopGenerator gen(
+        sim, std::move(spec),
+        [&](workload::Request &r) { server.onArrival(r); });
+    gen.start();
+    sim.runUntil(duration + secToNs(30));
+
+    // Monotone virtual time across the whole run.
+    EXPECT_GE(sim.now(), duration) << ctx;
+
+    // Conservation: nothing lost, nothing double-finished.
+    const auto &m = server.metrics();
+    ASSERT_GT(m.arrived(), 50u) << ctx << " rps=" << rps;
+    EXPECT_EQ(m.arrived(), m.completed()) << ctx;
+
+    // Causality and no-double-dispatch over the request pool.
+    std::vector<TimeNs> lat;
+    for (const auto &req : gen.pool()) {
+        ASSERT_TRUE(req.done()) << ctx << " request " << req.id;
+        ASSERT_EQ(req.remaining, 0u) << ctx << " request " << req.id;
+        ASSERT_GE(req.latency() + 2, req.service)
+            << ctx << " request " << req.id;
+        lat.push_back(req.latency());
+    }
+    EXPECT_EQ(lat.size(), m.arrived()) << ctx;
+
+    // Bounded tail degradation: faults slow things down, they must not
+    // let latency run away (the watchdog bounds every lost fire).
+    EXPECT_LT(percentileNearestRank(lat, 0.99), msToNs(500)) << ctx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeFaultFuzz,
+                         testing::Range<std::uint64_t>(1, 451));
+
+// ----- Zero-fault A/B -----------------------------------------------
+
+/** A `--faults=none` run must be byte-identical to one that never
+ *  heard of fault injection. */
+TEST(ZeroFaultAb, NonePlanLeavesTraceByteIdentical)
+{
+    auto traced = [](bool parse_none) {
+        obs::Tracer tracer;
+        obs::setTracer(&tracer);
+        // parse("none") gives an empty plan: nothing may be installed,
+        // no RNG stream may shift, no event may move.
+        FaultPlan plan;
+        if (parse_none)
+            plan = FaultPlan::parse("none");
+        EXPECT_TRUE(plan.empty()) << "none must parse to an empty plan";
+
+        sim::Simulator sim(77);
+        hw::LatencyConfig cfg;
+        runtime_sim::LibPreemptibleConfig rc;
+        rc.nWorkers = 2;
+        rc.quantum = usToNs(5);
+        runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+        TimeNs duration = msToNs(5);
+        workload::WorkloadSpec spec{
+            workload::makeServiceLaw("A1", duration),
+            workload::RateLaw::constant(100000), duration};
+        workload::OpenLoopGenerator gen(
+            sim, std::move(spec),
+            [&](workload::Request &r) { server.onArrival(r); });
+        gen.start();
+        sim.runUntil(duration + secToNs(30));
+        EXPECT_EQ(server.metrics().arrived(),
+                  server.metrics().completed());
+        obs::setTracer(nullptr);
+        std::ostringstream os;
+        obs::writeChromeTrace(tracer, os);
+        return os.str();
+    };
+    std::string baseline = traced(false);
+    std::string with_none = traced(true);
+    EXPECT_GT(baseline.size(), 1000u);
+    EXPECT_EQ(baseline, with_none);
+}
+
+} // namespace
+} // namespace preempt::fault

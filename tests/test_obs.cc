@@ -169,6 +169,8 @@ TEST(TraceGolden, KindCatalogValuesAndNamesAreStable)
         {EventKind::CancelRequest, "cancel_request"},
         {EventKind::Steal, "steal"},
         {EventKind::HandlerEnter, "handler_enter"},
+        {EventKind::FaultInject, "fault_inject"},
+        {EventKind::FaultRecover, "fault_recover"},
     };
     std::uint16_t expected = 0;
     for (const auto &[kind, name] : kCatalog) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/dist.hh"
+#include "common/histogram.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 
@@ -75,6 +77,58 @@ TEST(HillEstimator, TooFewSamplesIsInfinite)
     EXPECT_TRUE(std::isinf(hillTailIndex(tiny)));
 }
 
+TEST(Percentile, NearestRankIsExactOnSmallSets)
+{
+    // 100 samples 1..100: the nearest-rank p99 is the 99th smallest,
+    // not the maximum (the old truncated q*n index reported sample
+    // 100 here... below the true rank on other sizes).
+    std::vector<TimeNs> v;
+    for (TimeNs i = 1; i <= 100; ++i)
+        v.push_back(i);
+    EXPECT_EQ(percentileNearestRank(v, 0.99), 99u);
+    EXPECT_EQ(percentileNearestRank(v, 1.0), 100u);
+    EXPECT_EQ(percentileNearestRank(v, 0.5), 50u);
+    EXPECT_EQ(percentileNearestRank(v, 0.001), 1u);
+
+    // n=101: ceil(0.99 * 101) = 100 -> the 100th smallest.
+    v.push_back(101);
+    EXPECT_EQ(percentileNearestRank(v, 0.99), 100u);
+
+    std::vector<TimeNs> single{7};
+    EXPECT_EQ(percentileNearestRank(single, 0.99), 7u);
+    std::vector<TimeNs> empty;
+    EXPECT_EQ(percentileNearestRank(empty, 0.99), 0u);
+}
+
+TEST(Percentile, OutOfRangeQuantileIsFatal)
+{
+    std::vector<TimeNs> v{1, 2, 3};
+    EXPECT_EXIT(percentileNearestRank(v, 0.0),
+                testing::ExitedWithCode(1), "quantile");
+    EXPECT_EXIT(percentileNearestRank(v, 1.5),
+                testing::ExitedWithCode(1), "quantile");
+}
+
+TEST(Percentile, AgreesWithHistogramQuantileOnExactBuckets)
+{
+    // LatencyHistogram buckets are exact for small values, so both
+    // nearest-rank implementations must agree bit-for-bit there.
+    std::vector<TimeNs> samples;
+    LatencyHistogram hist;
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        TimeNs v = 1 + rng.below(30);
+        samples.push_back(v);
+        hist.record(v);
+    }
+    for (double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+        std::vector<TimeNs> copy = samples;
+        EXPECT_EQ(percentileNearestRank(copy, q),
+                  static_cast<TimeNs>(hist.quantile(q)))
+            << "q=" << q;
+    }
+}
+
 TEST(RequestWindow, ExpiresOldRecords)
 {
     RequestStatsWindow w(usToNs(100));
@@ -105,7 +159,8 @@ TEST(RequestWindow, MedianAndTailLatency)
     EXPECT_NEAR(static_cast<double>(w.medianLatency()),
                 static_cast<double>(usToNs(50)),
                 static_cast<double>(usToNs(2)));
-    EXPECT_GE(w.tailLatency(), usToNs(98));
+    // Nearest rank: ceil(0.99 * 100) = 99 -> the 99th smallest.
+    EXPECT_EQ(w.tailLatency(), usToNs(99));
 }
 
 TEST(RequestWindow, MeanService)

@@ -207,5 +207,122 @@ TEST_F(UintrFixture, HandlerRunsWithUifClearUntilUiret)
               deliveries_before + 1);
 }
 
+TEST_F(UintrFixture, BlockDuringInFlightNotificationStillWakes)
+{
+    // Regression: a send while running schedules a running-path
+    // notification (ON set); if the receiver blocks before it lands,
+    // the setBlocked-time notify sees ON and bails, and the spurious
+    // in-flight event used to strand the PIR with nobody left to wake
+    // the sleeper.
+    int deliveries = 0;
+    bool woken = false;
+    int rx = unit.registerHandler(
+        [&](TimeNs, std::uint64_t) { ++deliveries; },
+        [&](TimeNs) { woken = true; });
+    int uipi = unit.registerSender(unit.createFd(rx, 1));
+
+    unit.senduipi(uipi);
+    unit.setBlocked(rx, true); // ON still set: notify is suppressed
+    sim.runAll();
+
+    EXPECT_GE(unit.stats().spurious, 1u);
+    EXPECT_TRUE(woken);
+    EXPECT_EQ(deliveries, 1);
+    EXPECT_EQ(unit.pending(rx), 0u);
+    EXPECT_FALSE(unit.blocked(rx));
+}
+
+TEST_F(UintrFixture, BlockedWithUifClearWakesButDefersDelivery)
+{
+    // The double-ineligible corner: blocked inside a CLUI critical
+    // section. The kernel wake must resume the thread without entering
+    // the handler; STUI then recognises the parked vector.
+    int deliveries = 0;
+    bool woken = false;
+    int rx = unit.registerHandler(
+        [&](TimeNs, std::uint64_t) { ++deliveries; },
+        [&](TimeNs) { woken = true; });
+    int uipi = unit.registerSender(unit.createFd(rx, 3));
+
+    unit.setUif(rx, false);
+    unit.setBlocked(rx, true);
+    unit.senduipi(uipi);
+    sim.runAll();
+
+    EXPECT_TRUE(woken);
+    EXPECT_TRUE(unit.running(rx));
+    EXPECT_EQ(deliveries, 0) << "handler entered with UIF clear";
+    EXPECT_EQ(unit.pending(rx), 1ULL << 3);
+
+    unit.setUif(rx, true);
+    sim.runAll();
+    EXPECT_EQ(deliveries, 1);
+    EXPECT_EQ(unit.pending(rx), 0u);
+}
+
+/**
+ * Exhaustive (running, uif, blocked) enumeration: from every reachable
+ * combination, a send must end in exactly one delivery once the
+ * receiver becomes eligible — no state may strand the PIR.
+ */
+class UintrStateMatrix : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(UintrStateMatrix, EveryTransitionComboDeliversExactlyOnce)
+{
+    int mask = GetParam();
+    bool want_running = mask & 1;
+    bool want_uif = mask & 2;
+    bool want_blocked = mask & 4;
+
+    sim::Simulator sim(1);
+    LatencyConfig cfg;
+    UintrUnit unit(sim, cfg);
+    int deliveries = 0;
+    int rx = unit.registerHandler(
+        [&](TimeNs, std::uint64_t) { ++deliveries; });
+    int uipi = unit.registerSender(unit.createFd(rx, 7));
+
+    // Drive the receiver into the combo (the model normalises the
+    // unreachable blocked && running pair: blocked forces !running).
+    if (!want_uif)
+        unit.setUif(rx, false);
+    if (want_blocked)
+        unit.setBlocked(rx, true);
+    else if (!want_running)
+        unit.setRunning(rx, false);
+    if (want_blocked)
+        EXPECT_FALSE(unit.running(rx));
+
+    unit.senduipi(uipi);
+    sim.runAll();
+
+    bool immediate = want_blocked ? want_uif : (want_running && want_uif);
+    EXPECT_EQ(deliveries, immediate ? 1 : 0)
+        << "running=" << want_running << " uif=" << want_uif
+        << " blocked=" << want_blocked;
+    if (!immediate)
+        EXPECT_EQ(unit.pending(rx), 1ULL << 7);
+
+    // Re-enable eligibility one transition at a time; each transition
+    // must re-check the PIR.
+    if (unit.blocked(rx))
+        unit.setBlocked(rx, false);
+    if (!unit.running(rx))
+        unit.setRunning(rx, true);
+    sim.runAll();
+    if (!unit.uif(rx) && deliveries == 0)
+        unit.setUif(rx, true);
+    sim.runAll();
+
+    EXPECT_EQ(deliveries, 1)
+        << "missed wakeup for running=" << want_running
+        << " uif=" << want_uif << " blocked=" << want_blocked;
+    EXPECT_EQ(unit.pending(rx), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, UintrStateMatrix, testing::Range(0, 8));
+
 } // namespace
 } // namespace preempt::hw
