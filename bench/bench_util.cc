@@ -1,9 +1,11 @@
 #include "bench/bench_util.hh"
 
+#include <locale>
 #include <sstream>
 
 #include "baselines/libinger_sim.hh"
 #include "baselines/shinjuku_sim.hh"
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
 #include "runtime_sim/libpreemptible_sim.hh"
@@ -88,9 +90,20 @@ std::string
 fmtUs(TimeNs ns)
 {
     std::ostringstream os;
+    // C locale: bench output is byte-compared across hosts and --jobs
+    // values, so the global locale must not leak into it.
+    os.imbue(std::locale::classic());
     os.precision(1);
     os << std::fixed << nsToUs(ns);
     return os.str();
+}
+
+exp::Harness
+makeHarness(CommandLine &cli, obs::Session &obs, fault::Session *fault,
+            std::uint64_t base_seed)
+{
+    int jobs = static_cast<int>(cli.getInt("jobs", 0));
+    return exp::Harness(jobs, obs, fault, base_seed);
 }
 
 } // namespace preempt::bench

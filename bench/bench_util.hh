@@ -18,10 +18,19 @@
 #include <string>
 
 #include "common/time.hh"
+#include "exp/harness.hh"
 #include "hw/latency_config.hh"
 #include "runtime_sim/server.hh"
 #include "sim/simulator.hh"
 #include "workload/generator.hh"
+
+namespace preempt {
+class CommandLine;
+} // namespace preempt
+
+namespace preempt::obs {
+class Session;
+} // namespace preempt::obs
 
 namespace preempt::bench {
 
@@ -66,6 +75,16 @@ makeServer(sim::Simulator &sim, const hw::LatencyConfig &cfg,
 RunOutcome runOne(const RunSpec &spec,
                   const hw::LatencyConfig &cfg =
                       hw::LatencyConfig::paperCalibrated());
+
+/**
+ * Standard --jobs plumbing for the figure benches: consumes --jobs
+ * (default 0 = hardware concurrency; --jobs=1 is the sequential
+ * driver) and builds the cell harness wired to the bench's obs and
+ * fault sessions. Output is byte-identical at any --jobs value.
+ */
+exp::Harness makeHarness(CommandLine &cli, obs::Session &obs,
+                         fault::Session *fault = nullptr,
+                         std::uint64_t base_seed = 0);
 
 /** Render a latency value for tables (microseconds, 1 decimal). */
 std::string fmtUs(TimeNs ns);

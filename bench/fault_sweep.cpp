@@ -10,174 +10,23 @@
  *   fault_sweep --configs=1000 --seed=1
  *   fault_sweep --configs=1 --seed=7 --faults=drop:utimer@0.3
  *
- * Output is deterministic in (--configs, --seed, --faults): two
- * invocations with the same flags print byte-identical reports, which
- * CI uses as the reproduce-from-seed check.
+ * Configs are independent cells of the parallel experiment harness
+ * (--jobs=N). Output is deterministic in (--configs, --seed,
+ * --faults) and independent of --jobs: every cell derives entirely
+ * from its own seed and totals merge in seed order, which CI uses as
+ * the sequential-vs-parallel byte-identity check.
  */
 
-#include <cstdio>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hh"
+#include "bench/fault_sweep_cell.hh"
 #include "common/cli.hh"
-#include "common/logging.hh"
-#include "common/stats.hh"
 #include "common/table.hh"
-#include "fault/fault.hh"
 #include "obs/session.hh"
-#include "runtime_sim/libpreemptible_sim.hh"
-#include "sim/simulator.hh"
-#include "workload/generator.hh"
 
 using namespace preempt;
-
-namespace {
-
-/** Candidate rules the sweep samples plans from. */
-struct Candidate
-{
-    fault::Action action;
-    fault::Site site;
-    bool signalOnly; ///< only meaningful for the no-UINTR ablation
-};
-
-const Candidate kCandidates[] = {
-    {fault::Action::Drop, fault::Site::Utimer, false},
-    {fault::Action::Coalesce, fault::Site::Utimer, false},
-    {fault::Action::Jitter, fault::Site::Utimer, false},
-    {fault::Action::Duplicate, fault::Site::Utimer, false},
-    {fault::Action::Slow, fault::Site::Handler, false},
-    {fault::Action::Drop, fault::Site::Signal, true},
-    {fault::Action::Delay, fault::Site::Signal, true},
-    {fault::Action::Reorder, fault::Site::Signal, true},
-};
-
-fault::FaultPlan
-randomPlan(Rng &pick, bool nouintr)
-{
-    fault::FaultPlan plan;
-    for (const Candidate &c : kCandidates) {
-        if (c.signalOnly && !nouintr)
-            continue;
-        if (pick.below(2) == 0)
-            continue;
-        fault::FaultRule rule;
-        rule.action = c.action;
-        rule.site = c.site;
-        rule.probability = 0.02 + 0.28 * pick.uniform();
-        rule.param = 0;
-        if (c.action == fault::Action::Delay)
-            rule.param = 100 + pick.below(4000);
-        else if (c.action == fault::Action::Slow)
-            rule.param = 500 + pick.below(3000);
-        plan.rules.push_back(rule);
-    }
-    return plan;
-}
-
-struct SweepTotals
-{
-    std::uint64_t configs = 0;
-    std::uint64_t requests = 0;
-    std::uint64_t injected = 0;
-    std::uint64_t watchdogRecoveries = 0;
-    std::uint64_t droppedPlans = 0;
-    std::uint64_t redundantFires = 0;
-    TimeNs worstP99 = 0;
-};
-
-/** Run one seeded config; fatal (with the repro line) on violation. */
-void
-runConfig(std::uint64_t seed, const std::string &forced_spec,
-          SweepTotals &totals)
-{
-    Rng pick(seed ^ 0xfa17);
-
-    bool nouintr = pick.below(5) == 0;
-    fault::FaultPlan plan = forced_spec.empty()
-                                ? randomPlan(pick, nouintr)
-                                : fault::FaultPlan::parse(forced_spec);
-    std::string repro = "seed=" + std::to_string(seed) +
-                        " plan=" + plan.str();
-
-    std::optional<fault::Injector> inj;
-    if (!plan.empty()) {
-        inj.emplace(plan, seed * 131 + 5);
-        fault::setInjector(&*inj);
-    }
-
-    int workers = 1 + static_cast<int>(pick.below(4));
-    TimeNs quantum = usToNs(3 + pick.below(20));
-    double rps = (0.15 + 0.25 * pick.uniform()) *
-                 static_cast<double>(workers) / 5e-6;
-    TimeNs duration = msToNs(2 + pick.below(4));
-
-    sim::Simulator sim(seed * 7919 + 13);
-    hw::LatencyConfig cfg;
-    runtime_sim::LibPreemptibleConfig rc;
-    rc.nWorkers = workers;
-    rc.quantum = quantum;
-    rc.workStealing = pick.below(2) == 1;
-    rc.policy = pick.below(2) == 1
-                    ? runtime_sim::SchedPolicy::NewFirst
-                    : runtime_sim::SchedPolicy::RoundRobin;
-    if (nouintr)
-        rc.delivery = runtime_sim::TimerDelivery::KernelSignal;
-    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
-
-    workload::WorkloadSpec spec{
-        workload::makeServiceLaw("A1", duration),
-        workload::RateLaw::constant(rps), duration};
-    workload::OpenLoopGenerator gen(
-        sim, std::move(spec),
-        [&](workload::Request &r) { server.onArrival(r); });
-    gen.start();
-    sim.runUntil(duration + secToNs(30));
-
-    // ----- Invariants (DESIGN.md section 9) -------------------------
-    const auto &m = server.metrics();
-    fatal_if(m.arrived() != m.completed(),
-             "request conservation violated: arrived=%llu completed=%llu "
-             "(%s)",
-             static_cast<unsigned long long>(m.arrived()),
-             static_cast<unsigned long long>(m.completed()),
-             repro.c_str());
-    std::vector<TimeNs> lat;
-    for (const auto &req : gen.pool()) {
-        fatal_if(!req.done(), "request %llu never finished (%s)",
-                 static_cast<unsigned long long>(req.id), repro.c_str());
-        fatal_if(req.remaining != 0,
-                 "request %llu finished with remaining work (%s)",
-                 static_cast<unsigned long long>(req.id), repro.c_str());
-        fatal_if(req.latency() + 2 < req.service,
-                 "causality violated for request %llu (%s)",
-                 static_cast<unsigned long long>(req.id), repro.c_str());
-        lat.push_back(req.latency());
-    }
-    fatal_if(lat.size() != m.arrived(),
-             "request pool does not match metrics (%s)", repro.c_str());
-    TimeNs p99 = lat.empty() ? 0 : percentileNearestRank(lat, 0.99);
-    fatal_if(p99 >= msToNs(500),
-             "tail degradation unbounded: p99=%llu ns (%s)",
-             static_cast<unsigned long long>(p99), repro.c_str());
-
-    ++totals.configs;
-    totals.requests += m.arrived();
-    totals.watchdogRecoveries += server.watchdogRecoveries();
-    totals.redundantFires += server.utimer().redundantFires();
-    if (inj) {
-        totals.injected += inj->totalInjected();
-        totals.droppedPlans +=
-            inj->injected(fault::Action::Drop, fault::Site::Utimer);
-    }
-    if (p99 > totals.worstP99)
-        totals.worstP99 = p99;
-
-    fault::setInjector(nullptr);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -189,11 +38,37 @@ main(int argc, char **argv)
     std::uint64_t base_seed =
         static_cast<std::uint64_t>(cli.getInt("seed", 1));
     std::string forced = cli.getString("faults", "");
+    exp::Harness harness = bench::makeHarness(cli, obsSession);
     cli.rejectUnknown();
 
+    std::vector<bench::FaultConfigOutcome> outcomes =
+        harness.map<bench::FaultConfigOutcome>(
+            configs, [&](const exp::CellEnv &env) {
+                return bench::runFaultConfig(base_seed + env.index,
+                                             forced);
+            });
+
+    struct SweepTotals
+    {
+        std::uint64_t configs = 0;
+        std::uint64_t requests = 0;
+        std::uint64_t injected = 0;
+        std::uint64_t watchdogRecoveries = 0;
+        std::uint64_t droppedPlans = 0;
+        std::uint64_t redundantFires = 0;
+        TimeNs worstP99 = 0;
+    };
     SweepTotals totals;
-    for (std::uint64_t i = 0; i < configs; ++i)
-        runConfig(base_seed + i, forced, totals);
+    for (const bench::FaultConfigOutcome &o : outcomes) {
+        ++totals.configs;
+        totals.requests += o.requests;
+        totals.injected += o.injected;
+        totals.droppedPlans += o.droppedPlans;
+        totals.watchdogRecoveries += o.watchdogRecoveries;
+        totals.redundantFires += o.redundantFires;
+        if (o.p99 > totals.worstP99)
+            totals.worstP99 = o.p99;
+    }
 
     ConsoleTable table("Fault sweep: " + std::to_string(configs) +
                        " seeded configs, all invariants held");

@@ -1,0 +1,148 @@
+#include "bench/fault_sweep_cell.hh"
+
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "fault/fault.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace preempt::bench {
+
+namespace {
+
+/** Candidate rules the sweep samples plans from. */
+struct Candidate
+{
+    fault::Action action;
+    fault::Site site;
+    bool signalOnly; ///< only meaningful for the no-UINTR ablation
+};
+
+const Candidate kCandidates[] = {
+    {fault::Action::Drop, fault::Site::Utimer, false},
+    {fault::Action::Coalesce, fault::Site::Utimer, false},
+    {fault::Action::Jitter, fault::Site::Utimer, false},
+    {fault::Action::Duplicate, fault::Site::Utimer, false},
+    {fault::Action::Slow, fault::Site::Handler, false},
+    {fault::Action::Drop, fault::Site::Signal, true},
+    {fault::Action::Delay, fault::Site::Signal, true},
+    {fault::Action::Reorder, fault::Site::Signal, true},
+};
+
+fault::FaultPlan
+randomPlan(Rng &pick, bool nouintr)
+{
+    fault::FaultPlan plan;
+    for (const Candidate &c : kCandidates) {
+        if (c.signalOnly && !nouintr)
+            continue;
+        if (pick.below(2) == 0)
+            continue;
+        fault::FaultRule rule;
+        rule.action = c.action;
+        rule.site = c.site;
+        rule.probability = 0.02 + 0.28 * pick.uniform();
+        rule.param = 0;
+        if (c.action == fault::Action::Delay)
+            rule.param = 100 + pick.below(4000);
+        else if (c.action == fault::Action::Slow)
+            rule.param = 500 + pick.below(3000);
+        plan.rules.push_back(rule);
+    }
+    return plan;
+}
+
+} // namespace
+
+FaultConfigOutcome
+runFaultConfig(std::uint64_t seed, const std::string &forced_spec)
+{
+    Rng pick(seed ^ 0xfa17);
+
+    bool nouintr = pick.below(5) == 0;
+    fault::FaultPlan plan = forced_spec.empty()
+                                ? randomPlan(pick, nouintr)
+                                : fault::FaultPlan::parse(forced_spec);
+    std::string repro = "seed=" + std::to_string(seed) +
+                        " plan=" + plan.str();
+
+    // Thread-scoped injector: cells of the parallel sweep must not
+    // share fault streams (or clobber a process-global pointer).
+    std::optional<fault::Injector> inj;
+    if (!plan.empty())
+        inj.emplace(plan, seed * 131 + 5);
+    fault::ScopedThreadInjector scoped(inj ? &*inj : nullptr);
+
+    int workers = 1 + static_cast<int>(pick.below(4));
+    TimeNs quantum = usToNs(3 + pick.below(20));
+    double rps = (0.15 + 0.25 * pick.uniform()) *
+                 static_cast<double>(workers) / 5e-6;
+    TimeNs duration = msToNs(2 + pick.below(4));
+
+    sim::Simulator sim(seed * 7919 + 13);
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = workers;
+    rc.quantum = quantum;
+    rc.workStealing = pick.below(2) == 1;
+    rc.policy = pick.below(2) == 1
+                    ? runtime_sim::SchedPolicy::NewFirst
+                    : runtime_sim::SchedPolicy::RoundRobin;
+    if (nouintr)
+        rc.delivery = runtime_sim::TimerDelivery::KernelSignal;
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+
+    workload::WorkloadSpec spec{
+        workload::makeServiceLaw("A1", duration),
+        workload::RateLaw::constant(rps), duration};
+    workload::OpenLoopGenerator gen(
+        sim, std::move(spec),
+        [&](workload::Request &r) { server.onArrival(r); });
+    gen.start();
+    sim.runUntil(duration + secToNs(30));
+
+    // ----- Invariants (DESIGN.md section 9) -------------------------
+    const auto &m = server.metrics();
+    fatal_if(m.arrived() != m.completed(),
+             "request conservation violated: arrived=%llu completed=%llu "
+             "(%s)",
+             static_cast<unsigned long long>(m.arrived()),
+             static_cast<unsigned long long>(m.completed()),
+             repro.c_str());
+    std::vector<TimeNs> lat;
+    for (const auto &req : gen.pool()) {
+        fatal_if(!req.done(), "request %llu never finished (%s)",
+                 static_cast<unsigned long long>(req.id), repro.c_str());
+        fatal_if(req.remaining != 0,
+                 "request %llu finished with remaining work (%s)",
+                 static_cast<unsigned long long>(req.id), repro.c_str());
+        fatal_if(req.latency() + 2 < req.service,
+                 "causality violated for request %llu (%s)",
+                 static_cast<unsigned long long>(req.id), repro.c_str());
+        lat.push_back(req.latency());
+    }
+    fatal_if(lat.size() != m.arrived(),
+             "request pool does not match metrics (%s)", repro.c_str());
+    TimeNs p99 = lat.empty() ? 0 : percentileNearestRank(lat, 0.99);
+    fatal_if(p99 >= msToNs(500),
+             "tail degradation unbounded: p99=%llu ns (%s)",
+             static_cast<unsigned long long>(p99), repro.c_str());
+
+    FaultConfigOutcome out;
+    out.requests = m.arrived();
+    out.watchdogRecoveries = server.watchdogRecoveries();
+    out.redundantFires = server.utimer().redundantFires();
+    if (inj) {
+        out.injected = inj->totalInjected();
+        out.droppedPlans =
+            inj->injected(fault::Action::Drop, fault::Site::Utimer);
+    }
+    out.p99 = p99;
+    return out;
+}
+
+} // namespace preempt::bench

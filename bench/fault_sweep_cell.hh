@@ -1,0 +1,46 @@
+/**
+ * @file
+ * One cell of the fault-fuzzing sweep: a seeded LibPreemptible
+ * configuration under a random (or forced) fault plan, checked
+ * against the global invariants of DESIGN.md section 9. Shared
+ * between bench/fault_sweep (the CI sweep driver) and
+ * bench/micro_parallel (which times the same cells).
+ *
+ * A cell is deterministic in (seed, forced_spec): the configuration,
+ * the fault plan, and the injector stream all derive from the seed,
+ * never from global state, so cells can run on any thread in any
+ * order.
+ */
+
+#ifndef PREEMPT_BENCH_FAULT_SWEEP_CELL_HH
+#define PREEMPT_BENCH_FAULT_SWEEP_CELL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hh"
+
+namespace preempt::bench {
+
+/** What one fault-sweep cell contributes to the report. */
+struct FaultConfigOutcome
+{
+    std::uint64_t requests = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t droppedPlans = 0;
+    std::uint64_t watchdogRecoveries = 0;
+    std::uint64_t redundantFires = 0;
+    TimeNs p99 = 0;
+};
+
+/**
+ * Run one seeded config; fatal (printing the seed + plan repro line)
+ * on any invariant violation. `forced_spec` overrides the random plan
+ * when non-empty (the --faults flag).
+ */
+FaultConfigOutcome runFaultConfig(std::uint64_t seed,
+                                  const std::string &forced_spec);
+
+} // namespace preempt::bench
+
+#endif // PREEMPT_BENCH_FAULT_SWEEP_CELL_HH

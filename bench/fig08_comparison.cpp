@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "bench/bench_util.hh"
@@ -56,6 +57,8 @@ main(int argc, char **argv)
     obs::Session obsSession(cli);
     fault::Session faultSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 250));
+    exp::Harness harness =
+        preempt::bench::makeHarness(cli, obsSession, &faultSession);
     cli.rejectUnknown();
 
     struct Wl
@@ -72,15 +75,10 @@ main(int argc, char **argv)
     };
 
     for (const Wl &wl : wls) {
-        ConsoleTable table(std::string("Fig. 8, workload ") + wl.name +
-                           ": p50 / p99 latency (us) vs load");
-        std::vector<std::string> header{"load (kRPS)"};
-        for (const System &s : kSystems)
-            header.push_back(s.label);
-        table.header(header);
-
+        // Grid phase: one cell per (load, system) point, submitted in
+        // row order so the merged output matches the sequential run.
+        std::vector<RunSpec> specs;
         for (double load : wl.loads_k) {
-            std::vector<std::string> row{ConsoleTable::num(load, 0)};
             for (const System &s : kSystems) {
                 RunSpec spec;
                 spec.system = s.key;
@@ -89,7 +87,27 @@ main(int argc, char **argv)
                 spec.quantum = s.quantum;
                 spec.adaptive = s.adaptive;
                 spec.duration = duration;
-                RunOutcome out = preempt::bench::runOne(spec);
+                specs.push_back(spec);
+            }
+        }
+        std::vector<RunOutcome> outs = harness.map<RunOutcome>(
+            specs.size(), [&](const exp::CellEnv &env) {
+                return preempt::bench::runOne(specs[env.index]);
+            });
+
+        ConsoleTable table(std::string("Fig. 8, workload ") + wl.name +
+                           ": p50 / p99 latency (us) vs load");
+        std::vector<std::string> header{"load (kRPS)"};
+        for (const System &s : kSystems)
+            header.push_back(s.label);
+        table.header(header);
+
+        std::size_t cell = 0;
+        for (double load : wl.loads_k) {
+            std::vector<std::string> row{ConsoleTable::num(load, 0)};
+            for (const System &s : kSystems) {
+                (void)s;
+                const RunOutcome &out = outs[cell++];
                 row.push_back(preempt::bench::fmtUs(out.p50) + " / " +
                               preempt::bench::fmtUs(out.p99));
             }
@@ -98,33 +116,53 @@ main(int argc, char **argv)
         table.print();
 
         // Max throughput: p99 bounded by 200x stable-system average.
+        // Sweep phase: the operating points of every system's sweep
+        // are independent cells; score each system's slice afterwards.
+        // The grid focuses on the saturation knee so close knees
+        // (e.g. workload B) resolve.
         TimeNs bound = usToNs(200.0 * wl.mean_service_us);
+        std::vector<double> grid =
+            workload::sweepGrid(wl.loads_k.back() * 0.55e3,
+                                wl.loads_k.back() * 1.35e3, 20);
+        std::vector<RunSpec> sweepSpecs;
+        for (const System &s : kSystems) {
+            for (double offered : grid) {
+                RunSpec spec;
+                spec.system = s.key;
+                spec.workload = wl.name;
+                spec.rps = offered;
+                spec.quantum = s.quantum;
+                spec.adaptive = s.adaptive;
+                spec.duration = duration;
+                sweepSpecs.push_back(spec);
+            }
+        }
+        std::vector<workload::SweepPoint> points =
+            harness.map<workload::SweepPoint>(
+                sweepSpecs.size(), [&](const exp::CellEnv &env) {
+                    RunOutcome out =
+                        preempt::bench::runOne(sweepSpecs[env.index]);
+                    workload::SweepPoint p;
+                    p.offeredRps = out.offeredRps;
+                    p.achievedRps = out.achievedRps;
+                    p.p50 = out.p50;
+                    p.p99 = out.p99;
+                    p.completed = out.completed;
+                    return p;
+                });
+
         ConsoleTable thr(std::string("Fig. 8, workload ") + wl.name +
                          ": max throughput (p99 <= " +
                          ConsoleTable::num(nsToUs(bound), 0) + " us)");
         thr.header({"system", "max good throughput (kRPS)"});
         double lib_thr = 0, shj_thr = 0;
-        for (const System &s : kSystems) {
-            auto run_at = [&](double rps) {
-                RunSpec spec;
-                spec.system = s.key;
-                spec.workload = wl.name;
-                spec.rps = rps;
-                spec.quantum = s.quantum;
-                spec.adaptive = s.adaptive;
-                spec.duration = duration;
-                RunOutcome out = preempt::bench::runOne(spec);
-                workload::SweepPoint p;
-                p.achievedRps = out.achievedRps;
-                p.p50 = out.p50;
-                p.p99 = out.p99;
-                return p;
-            };
-            // Focus the sweep near the saturation knee so close
-            // knees (e.g. workload B) resolve.
-            auto sweep = workload::sweepLoad(
-                run_at, wl.loads_k.back() * 0.55e3,
-                wl.loads_k.back() * 1.35e3, 20, bound);
+        for (std::size_t si = 0; si < std::size(kSystems); ++si) {
+            const System &s = kSystems[si];
+            auto first = points.begin() +
+                         static_cast<std::ptrdiff_t>(si * grid.size());
+            workload::SweepResult sweep = workload::scoreSweep(
+                {first, first + static_cast<std::ptrdiff_t>(grid.size())},
+                bound);
             thr.row({s.label,
                      ConsoleTable::num(sweep.maxGoodRps / 1e3, 0)});
             if (std::string(s.key) == "libpreemptible")

@@ -91,12 +91,27 @@ main(int argc, char **argv)
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 1200));
     TimeNs period = msToNs(cli.getDouble("period-ms", 100));
     TimeNs slo = usToNs(cli.getDouble("slo-us", 50));
+    exp::Harness harness =
+        bench::makeHarness(cli, obsSession, &faultSession);
     cli.rejectUnknown();
 
-    obsSession.beginRun("static");
-    Timeline fixed = run(false, usToNs(50), rps, duration, period, slo);
-    obsSession.beginRun("adaptive");
-    Timeline adaptive = run(true, usToNs(50), rps, duration, period, slo);
+    // Two independent cells; each labels its own trace epoch (the
+    // cell-local equivalent of obs::Session::beginRun).
+    struct Cfg
+    {
+        const char *name;
+        bool adaptive;
+    };
+    const Cfg cfgs[] = {{"static", false}, {"adaptive", true}};
+    std::vector<Timeline> timelines = harness.map<Timeline>(
+        2, [&](const exp::CellEnv &env) {
+            const Cfg &c = cfgs[env.index];
+            obs::beginEpoch(c.name);
+            return run(c.adaptive, usToNs(50), rps, duration, period,
+                       slo);
+        });
+    const Timeline &fixed = timelines[0];
+    const Timeline &adaptive = timelines[1];
 
     ConsoleTable table("Fig. 9: SLO violations on dynamic workload C "
                        "(50 us SLO), static 50 us vs Algorithm 1");

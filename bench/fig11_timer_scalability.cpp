@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "common/cli.hh"
 #include "obs/session.hh"
 #include "fault/fault.hh"
@@ -141,25 +142,39 @@ main(int argc, char **argv)
     fault::Session faultSession(cli);
     int fires = static_cast<int>(cli.getInt("fires", 1000));
     TimeNs interval = usToNs(cli.getDouble("interval-us", 100));
+    exp::Harness harness =
+        bench::makeHarness(cli, obsSession, &faultSession);
     cli.rejectUnknown();
+
+    // One cell per (thread count, design) point, row-major.
+    const std::vector<int> threadCounts{1, 2, 4, 8, 16, 32};
+    constexpr int kDesigns = 4;
+    std::vector<double> means = harness.map<double>(
+        threadCounts.size() * kDesigns, [&](const exp::CellEnv &env) {
+            int n = threadCounts[env.index / kDesigns];
+            switch (env.index % kDesigns) {
+            case 0:
+                return kernelTimers(n, fires, interval, false, false);
+            case 1:
+                return kernelTimers(n, fires, interval, true, false);
+            case 2:
+                return kernelTimers(n, fires, interval, false, true);
+            default:
+                return libUtimer(n, fires, interval);
+            }
+        });
 
     ConsoleTable table("Fig. 11: mean timer-delivery overhead (us), 1000 "
                        "interrupts @ 100 us interval");
     table.header({"threads", "per-thread (creation)", "per-thread (aligned)",
                   "per-process (chain)", "LibUtimer"});
-    for (int n : {1, 2, 4, 8, 16, 32}) {
-        table.row({std::to_string(n),
-                   ConsoleTable::num(
-                       kernelTimers(n, fires, interval, false, false) / 1e3,
-                       2),
-                   ConsoleTable::num(
-                       kernelTimers(n, fires, interval, true, false) / 1e3,
-                       2),
-                   ConsoleTable::num(
-                       kernelTimers(n, fires, interval, false, true) / 1e3,
-                       2),
-                   ConsoleTable::num(libUtimer(n, fires, interval) / 1e3,
-                                     2)});
+    for (std::size_t i = 0; i < threadCounts.size(); ++i) {
+        const double *row = &means[i * kDesigns];
+        table.row({std::to_string(threadCounts[i]),
+                   ConsoleTable::num(row[0] / 1e3, 2),
+                   ConsoleTable::num(row[1] / 1e3, 2),
+                   ConsoleTable::num(row[2] / 1e3, 2),
+                   ConsoleTable::num(row[3] / 1e3, 2)});
     }
     table.print();
     std::printf("\nexpected shape: creation-time superlinear (lock "

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "common/cli.hh"
 #include "obs/session.hh"
 #include "fault/fault.hh"
@@ -112,16 +113,27 @@ main(int argc, char **argv)
     fault::Session faultSession(cli);
     int samples = static_cast<int>(cli.getInt("samples", 5000));
     int bg = static_cast<int>(cli.getInt("bg-threads", 26));
+    exp::Harness harness =
+        bench::makeHarness(cli, obsSession, &faultSession);
     cli.rejectUnknown();
+
+    // One cell per (target, timer) point: kernel then LibUtimer at
+    // each target, matching the sequential measurement order.
+    const std::vector<double> targetsUs{100.0, 20.0};
+    std::vector<Precision> prec = harness.map<Precision>(
+        targetsUs.size() * 2, [&](const exp::CellEnv &env) {
+            TimeNs target = usToNs(targetsUs[env.index / 2]);
+            return measure(env.index % 2 == 1, target, samples, bg);
+        });
 
     ConsoleTable table("Fig. 12: timer precision with 26 armed threads "
                        "and background noise (5000 samples)");
     table.header({"timer", "target (us)", "mean interval (us)",
                   "stddev (us)", "avg rel. error"});
-    for (double target_us : {100.0, 20.0}) {
-        TimeNs target = usToNs(target_us);
-        Precision k = measure(false, target, samples, bg);
-        Precision u = measure(true, target, samples, bg);
+    for (std::size_t i = 0; i < targetsUs.size(); ++i) {
+        double target_us = targetsUs[i];
+        const Precision &k = prec[i * 2];
+        const Precision &u = prec[i * 2 + 1];
         table.row({"kernel timer", ConsoleTable::num(target_us, 0),
                    ConsoleTable::num(k.meanUs, 1),
                    ConsoleTable::num(k.stdUs, 1),

@@ -17,7 +17,10 @@
 
 #include <cstdio>
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "bench/bench_util.hh"
 #include "common/cli.hh"
 #include "obs/session.hh"
 #include "common/table.hh"
@@ -74,16 +77,37 @@ main(int argc, char **argv)
     CommandLine cli(argc, argv);
     obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 2000));
+    exp::Harness harness = bench::makeHarness(cli, obsSession);
     cli.rejectUnknown();
+
+    // Cells, in sequential execution order: per load (base, lib) for
+    // the left table, then the right table's baseline and its quantum
+    // sweep at 55 kRPS.
+    const std::vector<double> loadsK{20.0, 30.0, 40.0, 55.0, 70.0};
+    const std::vector<double> quantaUs{5.0, 10.0, 20.0, 30.0, 50.0};
+    std::vector<std::pair<TimeNs, double>> cells; // (quantum, rps)
+    for (double k : loadsK) {
+        cells.emplace_back(0, k * 1e3);
+        cells.emplace_back(usToNs(30), k * 1e3);
+    }
+    cells.emplace_back(0, 55e3);
+    for (double q : quantaUs)
+        cells.emplace_back(usToNs(q), 55e3);
+    std::vector<Outcome> outs = harness.map<Outcome>(
+        cells.size(), [&](const exp::CellEnv &env) {
+            return run(cells[env.index].first, cells[env.index].second,
+                       duration);
+        });
 
     // Left: fixed 30 us quantum across loads.
     ConsoleTable left("Fig. 13 left: p99 latency (us), fixed 30 us "
                       "quantum vs non-preemptive");
     left.header({"load (kRPS)", "LC-Base", "LC-Lib", "improvement",
                  "BE-Base", "BE-Lib"});
-    for (double k : {20.0, 30.0, 40.0, 55.0, 70.0}) {
-        Outcome base = run(0, k * 1e3, duration);
-        Outcome lib = run(usToNs(30), k * 1e3, duration);
+    for (std::size_t i = 0; i < loadsK.size(); ++i) {
+        double k = loadsK[i];
+        const Outcome &base = outs[i * 2];
+        const Outcome &lib = outs[i * 2 + 1];
         left.row({ConsoleTable::num(k, 0),
                   ConsoleTable::num(nsToUs(base.lcP99), 1),
                   ConsoleTable::num(nsToUs(lib.lcP99), 1),
@@ -97,14 +121,15 @@ main(int argc, char **argv)
     std::printf("\n");
 
     // Right: quantum sweep at 55 kRPS.
-    Outcome base = run(0, 55e3, duration);
+    const Outcome &base = outs[loadsK.size() * 2];
     ConsoleTable right("Fig. 13 right: quantum sweep at 55 kRPS");
     right.header({"quantum (us)", "LC p99 (us)", "LC improvement",
                   "BE mean (us)", "BE penalty"});
     right.row({"none", ConsoleTable::num(nsToUs(base.lcP99), 1), "1.0x",
                ConsoleTable::num(base.beMean / 1e3, 1), "1.0x"});
-    for (double q : {5.0, 10.0, 20.0, 30.0, 50.0}) {
-        Outcome lib = run(usToNs(q), 55e3, duration);
+    for (std::size_t qi = 0; qi < quantaUs.size(); ++qi) {
+        double q = quantaUs[qi];
+        const Outcome &lib = outs[loadsK.size() * 2 + 1 + qi];
         right.row({ConsoleTable::num(q, 0),
                    ConsoleTable::num(nsToUs(lib.lcP99), 1),
                    ConsoleTable::num(static_cast<double>(base.lcP99) /

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "common/cli.hh"
 #include "obs/session.hh"
 #include "common/table.hh"
@@ -123,11 +124,26 @@ main(int argc, char **argv)
     obs::Session obsSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 4000));
     TimeNs window = msToNs(cli.getDouble("window-ms", 250));
+    exp::Harness harness = bench::makeHarness(cli, obsSession);
     cli.rejectUnknown();
 
-    auto c50 = run(false, usToNs(50), duration, window);
-    auto c10 = run(false, usToNs(10), duration, window);
-    auto dyn = run(true, usToNs(50), duration, window);
+    // Three policy cells: constant 50 us, constant 10 us, dynamic.
+    struct Policy
+    {
+        bool dynamic;
+        TimeNs quantum;
+    };
+    const Policy policies[] = {
+        {false, usToNs(50)}, {false, usToNs(10)}, {true, usToNs(50)}};
+    std::vector<std::vector<Window>> series =
+        harness.map<std::vector<Window>>(
+            3, [&](const exp::CellEnv &env) {
+                const Policy &p = policies[env.index];
+                return run(p.dynamic, p.quantum, duration, window);
+            });
+    const std::vector<Window> &c50 = series[0];
+    const std::vector<Window> &c10 = series[1];
+    const std::vector<Window> &dyn = series[2];
 
     ConsoleTable table("Fig. 14: avg latency (us) over time, bursty "
                        "40->110 kRPS load");

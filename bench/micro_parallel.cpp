@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Wall-clock benchmark for the parallel experiment harness
+ * (src/exp): runs the same cell sets sequentially (--jobs=1) and in
+ * parallel (--jobs=N) and reports the speedup.
+ *
+ * Two cell sets, matching the CI A/B workloads:
+ *  - a fixed fig08 grid (workload A1, 4 systems x 5 loads);
+ *  - the seeded fault sweep (default 1000 configs).
+ *
+ * Both are byte-identity workloads elsewhere; here only wall clock is
+ * measured (observability stays off so the timing is pure cell work).
+ * --out writes BENCH_parallel.json; the checked-in copy records the
+ * 8-thread run documented in DESIGN.md section 10 (target: >= 4x on
+ * the fault sweep).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <locale>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "bench/fault_sweep_cell.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "obs/session.hh"
+
+using namespace preempt;
+using preempt::bench::RunSpec;
+
+namespace {
+
+double
+timeCells(int jobs, std::size_t count,
+          const std::function<void(const exp::CellEnv &)> &body)
+{
+    exp::HarnessOptions ho;
+    ho.jobs = jobs;
+    exp::Harness harness(ho);
+    auto t0 = std::chrono::steady_clock::now();
+    harness.run(count, body);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Measurement
+{
+    double sequential = 0;
+    double parallel = 0;
+    std::size_t cells = 0;
+
+    double speedup() const
+    {
+        return parallel > 0 ? sequential / parallel : 0;
+    }
+};
+
+std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.precision(3);
+    os << std::fixed << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
+    int jobs = static_cast<int>(cli.getInt("jobs", 8));
+    std::uint64_t configs =
+        static_cast<std::uint64_t>(cli.getInt("configs", 1000));
+    TimeNs duration = msToNs(cli.getDouble("duration-ms", 40));
+    std::string out = cli.getString("out", "");
+    cli.rejectUnknown();
+    jobs = exp::resolveJobs(jobs);
+    // Recorded alongside the timings: a speedup is only meaningful
+    // relative to the cores the host actually had.
+    unsigned hostCpus = std::thread::hardware_concurrency();
+    if (hostCpus == 0)
+        hostCpus = 1;
+
+    // Fixed fig08 grid: workload A1, the four compared systems at the
+    // five Fig. 8 operating points.
+    struct System
+    {
+        const char *key;
+        TimeNs quantum;
+        bool adaptive;
+    };
+    const System systems[] = {
+        {"libpreemptible", usToNs(5), true},
+        {"shinjuku", usToNs(5), false},
+        {"libinger", usToNs(60), false},
+        {"nouintr", usToNs(5), false},
+    };
+    std::vector<RunSpec> grid;
+    for (double load : {300.0, 600.0, 900.0, 1100.0, 1300.0}) {
+        for (const System &s : systems) {
+            RunSpec spec;
+            spec.system = s.key;
+            spec.workload = "A1";
+            spec.rps = load * 1e3;
+            spec.quantum = s.quantum;
+            spec.adaptive = s.adaptive;
+            spec.duration = duration;
+            grid.push_back(spec);
+        }
+    }
+
+    Measurement fig08;
+    fig08.cells = grid.size();
+    auto gridCell = [&](const exp::CellEnv &env) {
+        preempt::bench::runOne(grid[env.index]);
+    };
+    fig08.sequential = timeCells(1, grid.size(), gridCell);
+    fig08.parallel = timeCells(jobs, grid.size(), gridCell);
+
+    Measurement sweep;
+    sweep.cells = configs;
+    auto sweepCell = [&](const exp::CellEnv &env) {
+        preempt::bench::runFaultConfig(1 + env.index, "");
+    };
+    sweep.sequential = timeCells(1, configs, sweepCell);
+    sweep.parallel = timeCells(jobs, configs, sweepCell);
+
+    ConsoleTable table("Parallel harness: sequential vs --jobs=" +
+                       std::to_string(jobs) + " wall clock (" +
+                       std::to_string(hostCpus) + " host cpus)");
+    table.header({"cell set", "cells", "sequential (s)", "parallel (s)",
+                  "speedup"});
+    table.row({"fig08 grid (A1)", std::to_string(fig08.cells),
+               ConsoleTable::num(fig08.sequential, 2),
+               ConsoleTable::num(fig08.parallel, 2),
+               ConsoleTable::num(fig08.speedup(), 2) + "x"});
+    table.row({"fault sweep", std::to_string(sweep.cells),
+               ConsoleTable::num(sweep.sequential, 2),
+               ConsoleTable::num(sweep.parallel, 2),
+               ConsoleTable::num(sweep.speedup(), 2) + "x"});
+    table.print();
+
+    if (!out.empty()) {
+        std::ofstream os(out);
+        fatal_if(!os, "cannot write %s", out.c_str());
+        os.imbue(std::locale::classic());
+        os << "{\n"
+           << "  \"bench\": \"parallel_harness\",\n"
+           << "  \"unit\": \"seconds\",\n"
+           << "  \"jobs\": " << jobs << ",\n"
+           << "  \"host_cpus\": " << hostCpus << ",\n"
+           << "  \"fig08_grid\": {\"cells\": " << fig08.cells
+           << ", \"sequential\": " << jsonNum(fig08.sequential)
+           << ", \"parallel\": " << jsonNum(fig08.parallel)
+           << ", \"speedup\": " << jsonNum(fig08.speedup()) << "},\n"
+           << "  \"fault_sweep\": {\"cells\": " << sweep.cells
+           << ", \"sequential\": " << jsonNum(sweep.sequential)
+           << ", \"parallel\": " << jsonNum(sweep.parallel)
+           << ", \"speedup\": " << jsonNum(sweep.speedup()) << "}\n"
+           << "}\n";
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}

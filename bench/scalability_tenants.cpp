@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "common/cli.hh"
 #include "obs/session.hh"
 #include "common/table.hh"
@@ -77,7 +78,16 @@ main(int argc, char **argv)
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 150));
     int workers_each = static_cast<int>(cli.getInt("workers-each", 4));
     double rps_each = cli.getDouble("rps-each", 800e3);
+    exp::Harness harness = bench::makeHarness(cli, obsSession);
     cli.rejectUnknown();
+
+    // One cell per tenant count.
+    const std::vector<int> tenantCounts{1, 2, 4, 8, 16};
+    std::vector<TenantResult> results = harness.map<TenantResult>(
+        tenantCounts.size(), [&](const exp::CellEnv &env) {
+            return runTenants(tenantCounts[env.index], workers_each,
+                              rps_each, duration);
+        });
 
     hw::LatencyConfig cfg;
     ConsoleTable table("Tenant scalability: N colocated LibPreemptible "
@@ -85,8 +95,9 @@ main(int argc, char **argv)
                        "per tenant)");
     table.header({"tenants", "total workers", "worst tenant p99 (us)",
                   "aggregate throughput (kRPS)", "fits Shinjuku APIC?"});
-    for (int n : {1, 2, 4, 8, 16}) {
-        TenantResult r = runTenants(n, workers_each, rps_each, duration);
+    for (std::size_t i = 0; i < tenantCounts.size(); ++i) {
+        int n = tenantCounts[i];
+        const TenantResult &r = results[i];
         int total_workers = n * (workers_each + 1); // + dispatcher
         table.row({std::to_string(n), std::to_string(total_workers),
                    ConsoleTable::num(r.worstP99Us, 1),

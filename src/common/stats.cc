@@ -16,7 +16,7 @@ RunningStats::stddev() const
 }
 
 double
-hillTailIndex(std::vector<double> &samples, double tail_fraction)
+hillTailIndex(const std::vector<double> &samples, double tail_fraction)
 {
     fatal_if(tail_fraction <= 0 || tail_fraction >= 1,
              "tail_fraction must be in (0,1)");
@@ -26,20 +26,26 @@ hillTailIndex(std::vector<double> &samples, double tail_fraction)
     if (k < 8)
         return std::numeric_limits<double>::infinity();
 
-    std::sort(samples.begin(), samples.end());
+    // Select on a copy: callers keep their sample order (the adaptive
+    // driver estimates from a live window it keeps appending to).
+    std::vector<double> sel(samples);
+    auto thresholdIt = sel.begin() + static_cast<long>(n - k - 1);
+    std::nth_element(sel.begin(), thresholdIt, sel.end());
     // x_(n-k) is the threshold order statistic.
-    double xk = samples[n - k - 1];
+    double xk = *thresholdIt;
     if (xk <= 0)
         return std::numeric_limits<double>::infinity();
     double sum = 0;
-    for (std::size_t i = n - k; i < n; ++i) {
-        if (samples[i] <= 0)
+    std::size_t summed = 0;
+    for (auto it = thresholdIt + 1; it != sel.end(); ++it) {
+        if (!(*it > 0) || !std::isfinite(*it))
             continue;
-        sum += std::log(samples[i] / xk);
+        sum += std::log(*it / xk);
+        ++summed;
     }
-    if (sum <= 0)
+    if (summed == 0 || sum <= 0)
         return std::numeric_limits<double>::infinity();
-    return static_cast<double>(k) / sum;
+    return static_cast<double>(summed) / sum;
 }
 
 TimeNs

@@ -58,11 +58,19 @@ class RunningStats
  * statistics of a sample. The paper's Algorithm 1 treats
  * 0 <= alpha < 2 as a heavy-tailed regime.
  *
- * @param samples observation values (any order); modified by sorting.
+ * The estimate averages log(x_i / x_k) over the tail samples that are
+ * actually summable (finite, above the positive threshold x_k) and
+ * divides by that count — never by the nominal k — so degenerate
+ * samples (zeros, ties at the threshold) cannot bias alpha low.
+ *
+ * @param samples observation values, any order; left untouched (the
+ *        selection works on an internal copy).
  * @param tail_fraction fraction of the largest samples to use.
- * @return estimated alpha, or +inf when there is too little data.
+ * @return estimated alpha, or +inf when there is too little usable
+ *         data (fewer than 8 tail samples, or a non-positive
+ *         threshold).
  */
-double hillTailIndex(std::vector<double> &samples,
+double hillTailIndex(const std::vector<double> &samples,
                      double tail_fraction = 0.05);
 
 /**

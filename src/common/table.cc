@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
+#include <locale>
 
 namespace preempt {
 
@@ -26,6 +27,9 @@ std::string
 ConsoleTable::num(double v, int precision)
 {
     std::ostringstream os;
+    // C locale: table output participates in the byte-identical A/B
+    // checks, so the global locale must not leak into it.
+    os.imbue(std::locale::classic());
     os << std::fixed << std::setprecision(precision) << v;
     return os.str();
 }

@@ -1,0 +1,82 @@
+#include "exp/harness.hh"
+
+#include <memory>
+#include <optional>
+
+#include "obs/session.hh"
+
+namespace preempt::exp {
+
+Harness::Harness(HarnessOptions options) : options_(std::move(options))
+{
+    options_.jobs = resolveJobs(options_.jobs);
+}
+
+Harness::Harness(int jobs, obs::Session &obs, fault::Session *fault,
+                 std::uint64_t base_seed)
+    : Harness([&] {
+          HarnessOptions o;
+          o.jobs = jobs;
+          o.baseSeed = base_seed;
+          o.traceSink = obs.tracerPtr();
+          o.tracerOptions = obs.tracerOptions();
+          o.metricsSink = obs.metricsPtr();
+          if (fault) {
+              o.faultPlan = fault->plan();
+              o.faultSeed = fault->seed();
+          }
+          return o;
+      }())
+{
+}
+
+void
+Harness::run(std::size_t count,
+             const std::function<void(const CellEnv &)> &body)
+{
+    /** One cell's captured observability, merged after the fan-out. */
+    struct Capture
+    {
+        std::unique_ptr<obs::Tracer> tracer;
+        std::unique_ptr<obs::MetricsRegistry> metrics;
+    };
+    std::vector<Capture> captures(count);
+
+    runIndexed(options_.jobs, count, [&](std::size_t i) {
+        CellEnv env;
+        env.index = i;
+        env.seed = cellSeed(options_.baseSeed, i);
+
+        Capture &cap = captures[i];
+        if (options_.traceSink) {
+            obs::Tracer::Options topt = options_.tracerOptions;
+            topt.lazyRings = true; // cells are thread-confined
+            cap.tracer = std::make_unique<obs::Tracer>(topt);
+        }
+        if (options_.metricsSink)
+            cap.metrics = std::make_unique<obs::MetricsRegistry>();
+
+        std::optional<fault::Injector> injector;
+        if (!options_.faultPlan.empty()) {
+            injector.emplace(options_.faultPlan,
+                             cellSeed(options_.faultSeed, i));
+            env.injector = &*injector;
+        }
+
+        obs::ScopedThreadTracer scopedTracer(cap.tracer.get());
+        obs::ScopedThreadMetricsRegistry scopedMetrics(cap.metrics.get());
+        fault::ScopedThreadInjector scopedInjector(env.injector);
+        body(env);
+    });
+
+    // Submission-order merge: output depends on cell indices only,
+    // never on which thread finished first.
+    for (Capture &cap : captures) {
+        if (cap.tracer)
+            options_.traceSink->absorb(*cap.tracer);
+        if (cap.metrics)
+            options_.metricsSink->absorb(*cap.metrics);
+    }
+}
+
+} // namespace preempt::exp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Deterministic parallel experiment harness.
+ *
+ * Every experiment in this reproduction decomposes into independent
+ * cells — one (load point x seed x policy x fault config) each with
+ * its own Simulator. The harness runs those cells on a fixed-size
+ * thread pool (--jobs=N; --jobs=1 is the sequential driver) while
+ * guaranteeing the observable output is byte-identical to a
+ * sequential run:
+ *
+ *  - Per-cell state. A cell gets its own RNG substream seed
+ *    (cellSeed(base, index) — a pure hash, never draw-order
+ *    dependent), its own obs::Tracer + obs::MetricsRegistry capture,
+ *    and its own fault::Injector, all installed thread-locally
+ *    (setThreadTracer / setThreadMetricsRegistry /
+ *    setThreadInjector) so concurrent cells never share a ring, a
+ *    counter, or an RNG.
+ *
+ *  - In-order merge. After all cells of a run() finish, their
+ *    captures are absorbed into the session sinks in submission
+ *    (index) order, and map() returns results indexed by cell. stdout
+ *    rows, --trace-out, --metrics-out, and sweep reports therefore do
+ *    not depend on --jobs or on completion order.
+ *
+ * See DESIGN.md section 10 for the determinism rules.
+ */
+
+#ifndef PREEMPT_EXP_HARNESS_HH
+#define PREEMPT_EXP_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exp/pool.hh"
+#include "fault/fault.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace preempt::obs {
+class Session;
+} // namespace preempt::obs
+
+namespace preempt::exp {
+
+/**
+ * Deterministic per-cell seed: a splitmix64-style hash of
+ * (base_seed, cell_index). Depends on nothing but its arguments — not
+ * on --jobs, not on which cells ran before — so the same base seed
+ * reproduces the same substream at any parallelism.
+ */
+constexpr std::uint64_t
+cellSeed(std::uint64_t base_seed, std::uint64_t cell_index)
+{
+    std::uint64_t z =
+        base_seed + (cell_index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** What a cell body sees. */
+struct CellEnv
+{
+    /** This cell's index in [0, count). */
+    std::size_t index = 0;
+
+    /** cellSeed(options.baseSeed, index). */
+    std::uint64_t seed = 0;
+
+    /** The cell's scoped fault injector, or nullptr (no plan). */
+    fault::Injector *injector = nullptr;
+};
+
+/** How a Harness captures and merges. */
+struct HarnessOptions
+{
+    /** Worker threads; <= 0 means hardware concurrency, 1 = inline. */
+    int jobs = 1;
+
+    /** Base seed for cellSeed() derivation. */
+    std::uint64_t baseSeed = 0;
+
+    /** Where per-cell traces merge to (nullptr = tracing off). */
+    obs::Tracer *traceSink = nullptr;
+
+    /** Shape of per-cell tracers (cloned from the session tracer so
+     *  capacity-driven drops match a sequential run). */
+    obs::Tracer::Options tracerOptions{};
+
+    /** Where per-cell metrics merge to (nullptr = metrics off). */
+    obs::MetricsRegistry *metricsSink = nullptr;
+
+    /** Fault plan instantiated per cell (empty = no injection). Each
+     *  cell draws from Injector(plan, cellSeed(faultSeed, index)). */
+    fault::FaultPlan faultPlan{};
+
+    /** Base seed for per-cell fault injector streams. */
+    std::uint64_t faultSeed = 0;
+};
+
+/**
+ * The harness. One instance per bench binary; run()/map() may be
+ * called repeatedly — captures merge in submission order across
+ * calls, so a multi-phase bench (grid, then sweep) keeps one
+ * deterministic output stream.
+ */
+class Harness
+{
+  public:
+    explicit Harness(HarnessOptions options);
+
+    /**
+     * Convenience wiring from the standard bench sessions: sinks and
+     * tracer shape come from `obs`, the fault plan and seed from
+     * `fault` (may be nullptr when the bench takes no --faults).
+     */
+    Harness(int jobs, obs::Session &obs, fault::Session *fault,
+            std::uint64_t base_seed = 0);
+
+    /** Resolved worker-thread count (>= 1). */
+    int jobs() const { return options_.jobs; }
+
+    /**
+     * Run `count` cells. body(env) executes with the cell's tracer,
+     * metrics registry, and injector installed thread-locally; all
+     * cells complete (and their captures merge, in index order)
+     * before run() returns. The body must confine itself to cell
+     * state — anything emitted through obs::emit / obs::addCount /
+     * fault::onTransport lands in the cell capture automatically.
+     */
+    void run(std::size_t count,
+             const std::function<void(const CellEnv &)> &body);
+
+    /**
+     * run() returning one result per cell, in cell order. R must be
+     * default-constructible and movable.
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    map(std::size_t count, Fn &&fn)
+    {
+        std::vector<R> out(count);
+        run(count, [&](const CellEnv &env) { out[env.index] = fn(env); });
+        return out;
+    }
+
+  private:
+    HarnessOptions options_;
+};
+
+} // namespace preempt::exp
+
+#endif // PREEMPT_EXP_HARNESS_HH

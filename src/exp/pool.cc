@@ -1,0 +1,50 @@
+#include "exp/pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace preempt::exp {
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+void
+runIndexed(int jobs, std::size_t count,
+           const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::size_t nThreads = std::min<std::size_t>(
+        static_cast<std::size_t>(jobs), count);
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(nThreads);
+    for (std::size_t t = 0; t < nThreads; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+}
+
+} // namespace preempt::exp

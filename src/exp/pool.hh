@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fixed-size fan-out for independent experiment cells.
+ *
+ * runIndexed() is the only scheduling primitive the experiment
+ * harness uses: it executes `count` index-addressed tasks on up to
+ * `jobs` threads, claiming indices dynamically from an atomic
+ * counter. Which thread runs which cell is NOT deterministic — that
+ * is the point; determinism is recovered one layer up by giving every
+ * cell its own state and merging results in index order.
+ */
+
+#ifndef PREEMPT_EXP_POOL_HH
+#define PREEMPT_EXP_POOL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace preempt::exp {
+
+/**
+ * Resolve a --jobs value: positive counts pass through, zero (or
+ * negative) means hardware concurrency (at least 1).
+ */
+int resolveJobs(int jobs);
+
+/**
+ * Run fn(0) .. fn(count-1), each exactly once, on up to `jobs`
+ * threads. jobs <= 1 runs every index inline on the calling thread in
+ * ascending order (exactly the sequential behaviour); otherwise
+ * min(jobs, count) worker threads claim indices dynamically and the
+ * call returns after all of them joined. fn must be safe to call
+ * concurrently for distinct indices and must not throw.
+ */
+void runIndexed(int jobs, std::size_t count,
+                const std::function<void(std::size_t)> &fn);
+
+} // namespace preempt::exp
+
+#endif // PREEMPT_EXP_POOL_HH

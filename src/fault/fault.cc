@@ -15,6 +15,9 @@ namespace {
 
 std::atomic<Injector *> g_injector{nullptr};
 
+/** Per-thread shadow (parallel harness cells); plain — thread-owned. */
+thread_local Injector *t_threadInjector = nullptr;
+
 constexpr TimeNs kDefaultDuplicateDelay = 700;
 constexpr TimeNs kDefaultReorderWindow = 2000;
 constexpr TimeNs kDefaultJitterWindow = 1500;
@@ -303,6 +306,8 @@ Injector::totalInjected() const
 Injector *
 injector() noexcept
 {
+    if (t_threadInjector)
+        return t_threadInjector;
     return g_injector.load(std::memory_order_relaxed);
 }
 
@@ -310,6 +315,18 @@ void
 setInjector(Injector *inj) noexcept
 {
     g_injector.store(inj, std::memory_order_relaxed);
+}
+
+void
+setThreadInjector(Injector *inj) noexcept
+{
+    t_threadInjector = inj;
+}
+
+Injector *
+threadInjector() noexcept
+{
+    return t_threadInjector;
 }
 
 TransportFault
@@ -336,16 +353,16 @@ onHandler(TimeNs now, std::uint32_t core)
 Session::Session(CommandLine &cli)
 {
     std::string spec = cli.getString("faults", "");
-    std::uint64_t seed = static_cast<std::uint64_t>(
+    seed_ = static_cast<std::uint64_t>(
         cli.getInt("fault-seed", 0x666c7402));
-    FaultPlan plan = FaultPlan::parse(spec);
-    if (plan.empty())
+    plan_ = FaultPlan::parse(spec);
+    if (plan_.empty())
         return;
-    injector_ = std::make_unique<Injector>(std::move(plan), seed);
+    injector_ = std::make_unique<Injector>(plan_, seed_);
     setInjector(injector_.get());
     inform("fault injection active: plan=%s seed=%llu",
            injector_->plan().str().c_str(),
-           static_cast<unsigned long long>(seed));
+           static_cast<unsigned long long>(seed_));
 }
 
 Session::~Session()

@@ -178,11 +178,46 @@ class Injector
     std::array<std::string, kActions * kSites> counterNames_;
 };
 
-/** Currently installed injector, or nullptr (injection off). */
+/**
+ * The injector fault queries on this thread resolve to, or nullptr
+ * (injection off): the thread-confined injector when one is installed,
+ * otherwise the process-wide one.
+ */
 Injector *injector() noexcept;
 
 /** Install/uninstall the process-wide injector (caller owns it). */
 void setInjector(Injector *injector) noexcept;
+
+/**
+ * Install/uninstall an injector for the calling thread only. Shadows
+ * the process-wide injector on this thread; the parallel experiment
+ * harness scopes one injector per cell this way, so concurrent cells
+ * draw from independent streams and the fault schedule never depends
+ * on cross-cell draw order. Pass nullptr to fall back to the global.
+ */
+void setThreadInjector(Injector *injector) noexcept;
+
+/** The calling thread's shadowing injector, or nullptr. */
+Injector *threadInjector() noexcept;
+
+/** RAII thread-confined injector install (nullptr = no shadowing). */
+class ScopedThreadInjector
+{
+  public:
+    explicit ScopedThreadInjector(Injector *inj)
+        : prev_(threadInjector())
+    {
+        setThreadInjector(inj);
+    }
+
+    ~ScopedThreadInjector() { setThreadInjector(prev_); }
+
+    ScopedThreadInjector(const ScopedThreadInjector &) = delete;
+    ScopedThreadInjector &operator=(const ScopedThreadInjector &) = delete;
+
+  private:
+    Injector *prev_;
+};
 
 /** True when fault injection is active. */
 inline bool
@@ -222,8 +257,17 @@ class Session
 
     Injector *injector() { return injector_.get(); }
 
+    /** The parsed --faults plan (empty when the flag was absent). */
+    const FaultPlan &plan() const { return plan_; }
+
+    /** The --fault-seed value; per-cell injector streams derive from
+     *  it in the parallel harness. */
+    std::uint64_t seed() const { return seed_; }
+
   private:
     std::unique_ptr<Injector> injector_;
+    FaultPlan plan_;
+    std::uint64_t seed_ = 0;
 };
 
 } // namespace preempt::fault

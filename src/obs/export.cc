@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <locale>
 #include <ostream>
 #include <vector>
 
@@ -58,12 +59,18 @@ writeMeta(std::ostream &os, const char *what, std::uint32_t pid,
 void
 writeChromeTrace(const Tracer &tracer, std::ostream &os)
 {
+    // Byte-stable on any host: integer rendering must not pick up
+    // grouping separators from an ambient std::locale::global().
+    os.imbue(std::locale::classic());
+
     // Gather rings in core order, then stable-sort by (epoch, ts,
     // core): same-seed runs emit identical record sets in identical
     // ring order, so the output is byte-stable.
     std::vector<TraceRecord> records;
     std::vector<bool> coreUsed(tracer.cores(), false);
     for (std::uint32_t c = 0; c < tracer.cores(); ++c) {
+        if (!tracer.hasRing(c))
+            continue;
         for (const TraceRecord &r : tracer.ring(c).snapshot()) {
             records.push_back(r);
             coreUsed[c] = true;

@@ -1,6 +1,7 @@
 #include "obs/metrics.hh"
 
 #include <cmath>
+#include <locale>
 #include <sstream>
 #include <vector>
 
@@ -9,6 +10,9 @@ namespace preempt::obs {
 namespace {
 
 std::atomic<MetricsRegistry *> g_metrics{nullptr};
+
+/** Per-thread shadow (parallel harness cells); plain — thread-owned. */
+thread_local MetricsRegistry *t_threadMetrics = nullptr;
 
 /** JSON-escape a metric name (names are ASCII identifiers, but be
  *  safe about quotes/backslashes). */
@@ -25,13 +29,19 @@ escape(const std::string &s)
     return out;
 }
 
-/** Render a double without locale surprises; integers stay integral. */
+/** Render a double without locale surprises; integers stay integral.
+ *  Explicitly pinned to the classic "C" locale and a fixed precision:
+ *  default-constructed streams inherit std::locale::global(), which a
+ *  host application may have set to one with ',' decimal points or
+ *  digit grouping, and the metrics dump is part of the byte-identical
+ *  A/B guarantee. */
 std::string
 num(double v)
 {
     if (!std::isfinite(v))
         return "0";
     std::ostringstream os;
+    os.imbue(std::locale::classic());
     os.precision(6);
     os << std::fixed << v;
     return os.str();
@@ -89,6 +99,7 @@ MetricsRegistry::toJson() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream os;
+    os.imbue(std::locale::classic()); // no digit grouping, ever
     os << "{\n";
     bool first = true;
     auto sep = [&] {
@@ -127,9 +138,35 @@ MetricsRegistry::toJson() const
     return os.str();
 }
 
+void
+MetricsRegistry::absorb(const MetricsRegistry &donor)
+{
+    std::scoped_lock lock(mutex_, donor.mutex_);
+    for (const auto &[name, c] : donor.counters_) {
+        auto &slot = counters_[name];
+        if (!slot)
+            slot = std::make_unique<Counter>();
+        slot->add(c->value());
+    }
+    for (const auto &[name, g] : donor.gauges_) {
+        auto &slot = gauges_[name];
+        if (!slot)
+            slot = std::make_unique<Gauge>();
+        slot->set(g->value());
+    }
+    for (const auto &[name, t] : donor.timers_) {
+        auto &slot = timers_[name];
+        if (!slot)
+            slot = std::make_unique<TimerMetric>();
+        slot->merge(t->histogram());
+    }
+}
+
 MetricsRegistry *
 metricsRegistry() noexcept
 {
+    if (t_threadMetrics)
+        return t_threadMetrics;
     return g_metrics.load(std::memory_order_relaxed);
 }
 
@@ -137,6 +174,18 @@ void
 setMetricsRegistry(MetricsRegistry *registry) noexcept
 {
     g_metrics.store(registry, std::memory_order_release);
+}
+
+void
+setThreadMetricsRegistry(MetricsRegistry *registry) noexcept
+{
+    t_threadMetrics = registry;
+}
+
+MetricsRegistry *
+threadMetricsRegistry() noexcept
+{
+    return t_threadMetrics;
 }
 
 void

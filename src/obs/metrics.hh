@@ -77,6 +77,14 @@ class TimerMetric
         hist_.record(ns);
     }
 
+    /** Fold another histogram in (cell-capture merging). */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hist_.merge(other);
+    }
+
     /** Copy of the underlying histogram. */
     LatencyHistogram
     histogram() const
@@ -114,6 +122,14 @@ class MetricsRegistry
      */
     std::string toJson() const;
 
+    /**
+     * Fold another registry into this one (the parallel harness merges
+     * per-cell registries in submission order): counters add, gauges
+     * take the donor's value (last write wins, like a sequential run),
+     * timer histograms merge.
+     */
+    void absorb(const MetricsRegistry &donor);
+
   private:
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
@@ -121,11 +137,46 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
 };
 
-/** Currently installed registry, or nullptr. */
+/**
+ * The registry recordings on this thread resolve to, or nullptr: the
+ * thread-confined registry when one is installed, otherwise the
+ * process-wide one.
+ */
 MetricsRegistry *metricsRegistry() noexcept;
 
 /** Install/uninstall the process-wide registry (caller owns it). */
 void setMetricsRegistry(MetricsRegistry *registry) noexcept;
+
+/**
+ * Install/uninstall a registry for the calling thread only (shadows
+ * the process-wide one; used by the parallel experiment harness for
+ * per-cell capture). Pass nullptr to fall back to the global.
+ */
+void setThreadMetricsRegistry(MetricsRegistry *registry) noexcept;
+
+/** The calling thread's shadowing registry, or nullptr. */
+MetricsRegistry *threadMetricsRegistry() noexcept;
+
+/** RAII thread-confined registry install (nullptr = no shadowing). */
+class ScopedThreadMetricsRegistry
+{
+  public:
+    explicit ScopedThreadMetricsRegistry(MetricsRegistry *registry)
+        : prev_(threadMetricsRegistry())
+    {
+        setThreadMetricsRegistry(registry);
+    }
+
+    ~ScopedThreadMetricsRegistry() { setThreadMetricsRegistry(prev_); }
+
+    ScopedThreadMetricsRegistry(const ScopedThreadMetricsRegistry &) =
+        delete;
+    ScopedThreadMetricsRegistry &
+    operator=(const ScopedThreadMetricsRegistry &) = delete;
+
+  private:
+    MetricsRegistry *prev_;
+};
 
 // ----- No-op-when-disabled helpers for instrumentation sites --------
 

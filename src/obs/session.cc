@@ -7,6 +7,7 @@
 namespace preempt::obs {
 
 Session::Session(CommandLine &cli, Options options)
+    : options_(options)
 {
     std::string level = cli.getString("log-level", "");
     if (!level.empty())

@@ -65,9 +65,20 @@ class Session
     /** Flush output files now (also done by the destructor). */
     void flush();
 
+    /** The installed tracer (nullptr when --trace-out was absent). */
+    Tracer *tracerPtr() { return tracer_.get(); }
+
+    /** The installed registry (nullptr when --metrics-out was absent). */
+    MetricsRegistry *metricsPtr() { return metrics_.get(); }
+
+    /** Tracer shape; per-cell tracers in the parallel harness clone
+     *  this so capacity-driven drop behaviour matches a solo run. */
+    const Tracer::Options &tracerOptions() const { return options_.tracer; }
+
   private:
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<MetricsRegistry> metrics_;
+    Options options_;
     std::string traceOut_;
     std::string metricsOut_;
     bool flushed_ = false;

@@ -12,6 +12,9 @@ namespace {
  *  the traced run starts and uninstallation after it quiesces. */
 std::atomic<Tracer *> g_tracer{nullptr};
 
+/** Per-thread shadow (parallel harness cells); plain — thread-owned. */
+thread_local Tracer *t_threadTracer = nullptr;
+
 } // namespace
 
 const char *
@@ -67,13 +70,60 @@ TraceRing::snapshot() const
 Tracer::Tracer() : Tracer(Options{}) {}
 
 Tracer::Tracer(Options options)
+    : perCoreCapacity_(options.perCoreCapacity)
 {
     fatal_if(options.cores == 0, "tracer needs at least one core ring");
-    rings_.reserve(options.cores);
-    for (std::uint32_t c = 0; c < options.cores; ++c)
-        rings_.push_back(std::make_unique<TraceRing>(
-            options.perCoreCapacity));
+    rings_.resize(options.cores);
+    if (!options.lazyRings) {
+        for (std::uint32_t c = 0; c < options.cores; ++c)
+            rings_[c] = std::make_unique<TraceRing>(perCoreCapacity_);
+    }
     epochNames_.push_back("main");
+}
+
+TraceRing &
+Tracer::allocateRing(std::uint32_t core) noexcept
+{
+    rings_[core] = std::make_unique<TraceRing>(perCoreCapacity_);
+    return *rings_[core];
+}
+
+void
+Tracer::absorb(const Tracer &donor)
+{
+    // Donor epoch 0 is "main" on both sides; its named epochs land
+    // after ours, so the merged numbering only depends on absorb
+    // order, never on which thread ran the cell.
+    auto offset = static_cast<std::uint32_t>(epochNames_.size());
+    const auto &names = donor.epochNames();
+    for (std::size_t e = 1; e < names.size(); ++e)
+        epochNames_.push_back(names[e]);
+    auto remap = [offset](std::uint32_t epoch) {
+        return epoch == 0 ? 0 : offset + epoch - 1;
+    };
+
+    for (std::uint32_t c = 0; c < donor.cores(); ++c) {
+        if (!donor.hasRing(c))
+            continue;
+        if (c >= rings_.size()) {
+            droppedOutOfRange_.fetch_add(donor.ring(c).written(),
+                                         std::memory_order_relaxed);
+            continue;
+        }
+        TraceRing *ring = rings_[c].get();
+        if (!ring)
+            ring = &allocateRing(c);
+        for (TraceRecord rec : donor.ring(c).snapshot()) {
+            rec.epoch = remap(rec.epoch);
+            if (rec.kind ==
+                static_cast<std::uint16_t>(EventKind::EpochBegin))
+                rec.id = remap(static_cast<std::uint32_t>(rec.id));
+            ring->push(rec);
+        }
+    }
+    absorbedDropped_ += donor.totalDropped();
+    droppedOutOfRange_.fetch_add(donor.droppedOutOfRange(),
+                                 std::memory_order_relaxed);
 }
 
 std::uint32_t
@@ -92,22 +142,24 @@ Tracer::totalWritten() const
 {
     std::uint64_t sum = 0;
     for (const auto &r : rings_)
-        sum += r->written();
+        sum += r ? r->written() : 0;
     return sum;
 }
 
 std::uint64_t
 Tracer::totalDropped() const
 {
-    std::uint64_t sum = 0;
+    std::uint64_t sum = absorbedDropped_;
     for (const auto &r : rings_)
-        sum += r->dropped();
+        sum += r ? r->dropped() : 0;
     return sum;
 }
 
 Tracer *
 tracer() noexcept
 {
+    if (t_threadTracer)
+        return t_threadTracer;
     return g_tracer.load(std::memory_order_relaxed);
 }
 
@@ -115,6 +167,18 @@ void
 setTracer(Tracer *tracer) noexcept
 {
     g_tracer.store(tracer, std::memory_order_release);
+}
+
+void
+setThreadTracer(Tracer *tracer) noexcept
+{
+    t_threadTracer = tracer;
+}
+
+Tracer *
+threadTracer() noexcept
+{
+    return t_threadTracer;
 }
 
 void

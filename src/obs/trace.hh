@@ -176,6 +176,15 @@ class Tracer
 
         /** Records retained per core. */
         std::size_t perCoreCapacity = std::size_t{1} << 16;
+
+        /**
+         * Allocate each core's ring on its first record instead of up
+         * front. Per-cell tracers in the parallel experiment harness
+         * use this so an idle 64-core tracer costs nothing; the
+         * allocation on first use is NOT async-signal-safe, so lazy
+         * tracers are for thread-confined simulator cells only.
+         */
+        bool lazyRings = false;
     };
 
     Tracer(); ///< default Options (out of line: NSDMIs of a nested
@@ -185,7 +194,8 @@ class Tracer
     Tracer(const Tracer &) = delete;
     Tracer &operator=(const Tracer &) = delete;
 
-    /** Record one event. Wait-free, async-signal-safe. */
+    /** Record one event. Wait-free, async-signal-safe (except the
+     *  first record per core of a lazyRings tracer, which allocates). */
     void
     record(EventKind kind, std::uint32_t core, std::uint64_t ts,
            std::uint64_t id, std::uint64_t a0 = 0,
@@ -195,6 +205,9 @@ class Tracer
             droppedOutOfRange_.fetch_add(1, std::memory_order_relaxed);
             return;
         }
+        TraceRing *ring = rings_[core].get();
+        if (!ring) [[unlikely]]
+            ring = &allocateRing(core);
         TraceRecord rec;
         rec.ts = ts;
         rec.kind = static_cast<std::uint16_t>(kind);
@@ -203,7 +216,7 @@ class Tracer
         rec.id = id;
         rec.a0 = a0;
         rec.a1 = a1;
-        rings_[core]->push(rec);
+        ring->push(rec);
     }
 
     /**
@@ -219,10 +232,27 @@ class Tracer
         return static_cast<std::uint32_t>(rings_.size());
     }
 
+    /** False while a lazyRings core has not recorded anything yet. */
+    bool hasRing(std::uint32_t core) const
+    {
+        return rings_[core] != nullptr;
+    }
+
     const TraceRing &ring(std::uint32_t core) const
     {
         return *rings_[core];
     }
+
+    /**
+     * Append another tracer's retained records and epochs to this one
+     * (the parallel harness merges per-cell tracers in submission
+     * order). The donor's epoch 0 ("main") maps onto this tracer's
+     * epoch 0; its named epochs are appended after the existing ones,
+     * and EpochBegin marker ids are remapped to match. The donor must
+     * be quiescent; not thread-safe against concurrent record() calls
+     * on either side. Drop counts carry over.
+     */
+    void absorb(const Tracer &donor);
 
     /** Epoch labels; index = epoch id. Epoch 0 is "main". */
     const std::vector<std::string> &epochNames() const
@@ -244,13 +274,23 @@ class Tracer
     }
 
   private:
+    /** Create the ring for a lazyRings core (out of line, cold). */
+    TraceRing &allocateRing(std::uint32_t core) noexcept;
+
     std::vector<std::unique_ptr<TraceRing>> rings_;
+    std::size_t perCoreCapacity_;
     std::atomic<std::uint32_t> epoch_{0};
     std::vector<std::string> epochNames_;
     std::atomic<std::uint64_t> droppedOutOfRange_{0};
+    /** Drop-oldest losses inherited from absorbed tracers. */
+    std::uint64_t absorbedDropped_ = 0;
 };
 
-/** Currently installed tracer, or nullptr (tracing off). */
+/**
+ * The tracer emissions on this thread resolve to, or nullptr (tracing
+ * off): the thread-confined tracer when one is installed, otherwise
+ * the process-wide one.
+ */
 Tracer *tracer() noexcept;
 
 /**
@@ -259,6 +299,37 @@ Tracer *tracer() noexcept;
  * it. Instrumented objects must not emit after that.
  */
 void setTracer(Tracer *tracer) noexcept;
+
+/**
+ * Install/uninstall a tracer for the calling thread only. While set it
+ * shadows the process-wide tracer on this thread; the parallel
+ * experiment harness gives each cell its own capture this way so
+ * concurrent cells never share rings. Pass nullptr to fall back to the
+ * process-wide tracer.
+ */
+void setThreadTracer(Tracer *tracer) noexcept;
+
+/** The calling thread's shadowing tracer, or nullptr. */
+Tracer *threadTracer() noexcept;
+
+/** RAII thread-confined tracer install (nullptr = no shadowing). */
+class ScopedThreadTracer
+{
+  public:
+    explicit ScopedThreadTracer(Tracer *tracer)
+        : prev_(threadTracer())
+    {
+        setThreadTracer(tracer);
+    }
+
+    ~ScopedThreadTracer() { setThreadTracer(prev_); }
+
+    ScopedThreadTracer(const ScopedThreadTracer &) = delete;
+    ScopedThreadTracer &operator=(const ScopedThreadTracer &) = delete;
+
+  private:
+    Tracer *prev_;
+};
 
 /** Begin an epoch on the installed tracer; no-op when tracing is off. */
 void beginEpoch(const std::string &name);

@@ -6,25 +6,51 @@
 
 namespace preempt::workload {
 
+std::vector<double>
+sweepGrid(double start_rps, double end_rps, int steps)
+{
+    fatal_if(steps < 2, "load sweep needs at least two steps");
+    fatal_if(end_rps <= start_rps, "load sweep needs end > start");
+    std::vector<double> grid;
+    grid.reserve(static_cast<std::size_t>(steps));
+    double step = (end_rps - start_rps) / static_cast<double>(steps - 1);
+    for (int i = 0; i < steps; ++i)
+        grid.push_back(start_rps + step * static_cast<double>(i));
+    return grid;
+}
+
+SweepResult
+scoreSweep(std::vector<SweepPoint> points, TimeNs p99_bound)
+{
+    SweepResult result;
+    for (const SweepPoint &p : points) {
+        if (p.completed == 0)
+            continue; // empty point: nothing was measured
+        if (p.p99 > p99_bound)
+            continue;
+        // The 0.95x keep-up test only means something once enough
+        // requests completed; few-request quantization at low loads
+        // must not zero an otherwise healthy sweep.
+        if (p.completed >= kMinCompletionsForRatio &&
+            p.achievedRps < 0.95 * p.offeredRps)
+            continue;
+        result.maxGoodRps = std::max(result.maxGoodRps, p.offeredRps);
+    }
+    result.points = std::move(points);
+    return result;
+}
+
 SweepResult
 sweepLoad(const RunAtLoadFn &run, double start_rps, double end_rps,
           int steps, TimeNs p99_bound)
 {
-    fatal_if(steps < 2, "load sweep needs at least two steps");
-    fatal_if(end_rps <= start_rps, "load sweep needs end > start");
-    SweepResult result;
-    double step = (end_rps - start_rps) / static_cast<double>(steps - 1);
-    for (int i = 0; i < steps; ++i) {
-        double offered = start_rps + step * static_cast<double>(i);
+    std::vector<SweepPoint> points;
+    for (double offered : sweepGrid(start_rps, end_rps, steps)) {
         SweepPoint p = run(offered);
         p.offeredRps = offered;
-        if (p.p99 != 0 && p.p99 <= p99_bound &&
-            p.achievedRps >= 0.95 * offered) {
-            result.maxGoodRps = std::max(result.maxGoodRps, offered);
-        }
-        result.points.push_back(p);
+        points.push_back(p);
     }
-    return result;
+    return scoreSweep(std::move(points), p99_bound);
 }
 
 } // namespace preempt::workload

@@ -4,11 +4,19 @@
  * and extracts the paper's throughput metric — the maximum load whose
  * 99th-percentile latency stays within a bound (section V-A bounds it
  * to 200x the average latency of a stable system).
+ *
+ * Two APIs share one scoring rule:
+ *  - sweepLoad() runs the operating points itself, in order (the
+ *    original sequential driver);
+ *  - sweepGrid() + scoreSweep() split the sweep into independent
+ *    cells so the parallel experiment harness (src/exp) can run the
+ *    points concurrently and score the collected results afterwards.
  */
 
 #ifndef PREEMPT_WORKLOAD_LOADSWEEP_HH
 #define PREEMPT_WORKLOAD_LOADSWEEP_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -24,6 +32,10 @@ struct SweepPoint
     TimeNs p50 = 0;
     TimeNs p99 = 0;
     double overheadRatio = 0; ///< preemption overhead / execution time
+    /** Requests actually measured at this point. Zero marks an empty
+     *  point (nothing completed), which is never "good" — previously
+     *  this was conflated with a zero p99. */
+    std::uint64_t completed = 0;
 };
 
 /** Result of a full sweep. */
@@ -38,7 +50,33 @@ struct SweepResult
 using RunAtLoadFn = std::function<SweepPoint(double offered_rps)>;
 
 /**
- * Sweep offered load across [start, end] in a fixed number of steps.
+ * Minimum completions before the achieved/offered ratio test applies.
+ * Short runs at low loads complete only a handful of requests, so
+ * quantization puts achieved below 0.95x offered even though the
+ * system is healthy; below this count a point is judged on its p99
+ * alone.
+ */
+inline constexpr std::uint64_t kMinCompletionsForRatio = 100;
+
+/**
+ * The offered loads a sweep visits: [start, end] in `steps` evenly
+ * spaced points. These are the independent cells of a sweep.
+ */
+std::vector<double> sweepGrid(double start_rps, double end_rps,
+                              int steps);
+
+/**
+ * Score already-measured operating points: a point is good when it
+ * measured at least one completion, its p99 met the bound, and — once
+ * enough requests completed for the ratio to be meaningful — achieved
+ * throughput kept up with offered load. Points must carry their
+ * offeredRps; order does not affect the result.
+ */
+SweepResult scoreSweep(std::vector<SweepPoint> points, TimeNs p99_bound);
+
+/**
+ * Sweep offered load across [start, end] in a fixed number of steps,
+ * running the points sequentially in grid order.
  *
  * @param run        experiment body
  * @param start_rps  first offered load

@@ -10,11 +10,13 @@
 
 #include <cstddef>
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/table.hh"
 #include "hw/latency_config.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
@@ -401,6 +403,170 @@ TEST(Session, InstallsNothingWithoutFlags)
     EXPECT_FALSE(session.metrics());
     EXPECT_EQ(obs::tracer(), nullptr);
     EXPECT_EQ(obs::metricsRegistry(), nullptr);
+}
+
+// ----- thread-scoped instances (parallel harness) -------------------
+
+TEST(ThreadScoped, TracerShadowsGlobalAndRestores)
+{
+    Tracer global, cell;
+    obs::setTracer(&global);
+    EXPECT_EQ(obs::tracer(), &global);
+    {
+        obs::ScopedThreadTracer scoped(&cell);
+        EXPECT_EQ(obs::tracer(), &cell);
+        {
+            obs::ScopedThreadTracer inner(nullptr);
+            // TLS null falls back to the global, like any other
+            // thread outside a cell.
+            EXPECT_EQ(obs::tracer(), &global);
+        }
+        EXPECT_EQ(obs::tracer(), &cell);
+    }
+    EXPECT_EQ(obs::tracer(), &global);
+    obs::setTracer(nullptr);
+    EXPECT_EQ(obs::tracer(), nullptr);
+}
+
+TEST(ThreadScoped, MetricsRegistryShadowsGlobalAndRestores)
+{
+    obs::MetricsRegistry global, cell;
+    obs::setMetricsRegistry(&global);
+    {
+        obs::ScopedThreadMetricsRegistry scoped(&cell);
+        EXPECT_EQ(obs::metricsRegistry(), &cell);
+        obs::addCount("scoped.count");
+    }
+    EXPECT_EQ(obs::metricsRegistry(), &global);
+    obs::setMetricsRegistry(nullptr);
+#ifndef PREEMPT_OBS_DISABLED
+    EXPECT_EQ(cell.counter("scoped.count").value(), 1u);
+    EXPECT_EQ(global.counter("scoped.count").value(), 0u);
+#endif
+}
+
+// ----- capture merging (parallel harness) ---------------------------
+
+TEST(TracerTest, AbsorbRemapsEpochsInSubmissionOrder)
+{
+    Tracer parent;
+    parent.beginEpoch("parent run"); // epoch 1
+    parent.record(EventKind::Dispatch, 0, 10, 1);
+
+    Tracer::Options opt;
+    opt.lazyRings = true;
+    Tracer cellA(opt);
+    cellA.record(EventKind::Dispatch, 0, 15, 9); // donor epoch 0
+    cellA.beginEpoch("cell A");                  // donor epoch 1
+    cellA.record(EventKind::Dispatch, 0, 20, 2);
+    Tracer cellB(opt);
+    cellB.beginEpoch("cell B");
+    cellB.record(EventKind::Launch, 1, 30, 3);
+
+    parent.absorb(cellA);
+    parent.absorb(cellB);
+
+    ASSERT_EQ(parent.epochNames().size(), 4u);
+    EXPECT_EQ(parent.epochNames()[0], "main");
+    EXPECT_EQ(parent.epochNames()[1], "parent run");
+    EXPECT_EQ(parent.epochNames()[2], "cell A");
+    EXPECT_EQ(parent.epochNames()[3], "cell B");
+
+    // Ring 0: parent's epoch marker + dispatch, then cellA's records
+    // with donor epoch 0 -> 0 and donor epoch 1 -> 2.
+    auto r0 = parent.ring(0).snapshot();
+    ASSERT_EQ(r0.size(), 6u);
+    EXPECT_EQ(r0[1].epoch, 1u); // parent dispatch
+    EXPECT_EQ(r0[2].epoch, 0u); // cellA pre-epoch record joins "main"
+    EXPECT_EQ(r0[3].kind,
+              static_cast<std::uint16_t>(EventKind::EpochBegin));
+    EXPECT_EQ(r0[3].id, 2u); // marker id remapped with the epoch
+    EXPECT_EQ(r0[4].epoch, 2u);
+    EXPECT_EQ(r0[4].ts, 20u);
+    // cellB's epoch marker lands in ring 0 like any beginEpoch.
+    EXPECT_EQ(r0[5].kind,
+              static_cast<std::uint16_t>(EventKind::EpochBegin));
+    EXPECT_EQ(r0[5].id, 3u);
+    // Ring 1: cellB's launch under remapped epoch 3.
+    auto r1 = parent.ring(1).snapshot();
+    ASSERT_EQ(r1.size(), 1u);
+    EXPECT_EQ(r1[0].epoch, 3u);
+    EXPECT_EQ(r1[0].ts, 30u);
+}
+
+TEST(Metrics, AbsorbAddsCountersMergesTimersOverwritesGauges)
+{
+    obs::MetricsRegistry sink, cellA, cellB;
+    sink.counter("c").add(1);
+    cellA.counter("c").add(2);
+    cellB.counter("c").add(3);
+    cellA.gauge("g").set(7);
+    cellB.gauge("g").set(9);
+    cellA.timer("t").record(100);
+    cellB.timer("t").record(300);
+
+    sink.absorb(cellA);
+    sink.absorb(cellB);
+
+    EXPECT_EQ(sink.counter("c").value(), 6u);
+    EXPECT_EQ(sink.gauge("g").value(), 9); // last write wins
+    EXPECT_EQ(sink.timer("t").histogram().count(), 2u);
+}
+
+// ----- formatting under a hostile global locale ---------------------
+
+namespace {
+
+/** numpunct that would corrupt JSON if it leaked into an emitter. */
+class CommaNumpunct : public std::numpunct<char>
+{
+  protected:
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+} // namespace
+
+TEST(Export, FormattingImmuneToGlobalLocale)
+{
+    Tracer t;
+    t.record(EventKind::Dispatch, 0, 1234567, 42);
+    obs::MetricsRegistry reg;
+    reg.counter("fmt.count").add(1234567);
+    reg.gauge("fmt.gauge").set(-7654321);
+    reg.timer("fmt.timer").record(1000);
+    reg.timer("fmt.timer").record(1001);
+
+    auto render = [&] {
+        std::ostringstream trace;
+        obs::writeChromeTrace(t, trace);
+        return trace.str() + "\n---\n" + reg.toJson() + "\n---\n" +
+               ConsoleTable::num(1234567.891, 2);
+    };
+
+    std::string baseline = render();
+    // Golden fragments: C-locale fixed-point, no digit grouping.
+    EXPECT_NE(baseline.find("\"fmt.count\": 1234567"),
+              std::string::npos) << baseline;
+    EXPECT_NE(baseline.find("\"fmt.gauge\": -7654321"),
+              std::string::npos) << baseline;
+    EXPECT_NE(baseline.find("\"mean\": 1000.500000"),
+              std::string::npos) << baseline;
+    EXPECT_NE(baseline.find("1234567.89"), std::string::npos)
+        << baseline;
+
+    std::locale weird(std::locale::classic(), new CommaNumpunct);
+    std::locale prev = std::locale::global(weird);
+    std::string undermined = render();
+    std::locale::global(prev);
+
+    EXPECT_EQ(undermined, baseline);
+    std::string err;
+    std::ostringstream trace;
+    obs::writeChromeTrace(t, trace);
+    EXPECT_TRUE(obs::validateJson(trace.str(), &err)) << err;
+    EXPECT_TRUE(obs::validateJson(reg.toJson(), &err)) << err;
 }
 
 } // namespace

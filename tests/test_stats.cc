@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/dist.hh"
@@ -75,6 +77,48 @@ TEST(HillEstimator, TooFewSamplesIsInfinite)
 {
     std::vector<double> tiny{1.0, 2.0, 3.0};
     EXPECT_TRUE(std::isinf(hillTailIndex(tiny)));
+}
+
+TEST(HillEstimator, DoesNotMutateInput)
+{
+    // Regression: the estimator used to std::sort the caller's vector
+    // in place.
+    Rng rng(3);
+    ParetoDist d(1.0, 1.5);
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(d.sample(rng));
+    std::vector<double> before = samples;
+    (void)hillTailIndex(samples);
+    EXPECT_EQ(samples, before);
+}
+
+TEST(HillEstimator, UnsortedMatchesSorted)
+{
+    Rng rng(4);
+    ParetoDist d(1.0, 2.0);
+    std::vector<double> samples;
+    for (int i = 0; i < 10000; ++i)
+        samples.push_back(d.sample(rng));
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(hillTailIndex(samples), hillTailIndex(sorted));
+}
+
+TEST(HillEstimator, SkippedTailSamplesLeaveTheDivisor)
+{
+    // Regression: samples the tail sum skips (non-finite; zeros when
+    // they reach the threshold) used to stay in the divisor as the
+    // nominal k, biasing the index. Constructed input, zero-laden
+    // body: n=1000, k=50, threshold x_(n-k)=1, tail = 47x e + 3x inf.
+    // Summing 47 logs of e and dividing by 47 gives exactly 1; the
+    // old nominal-k divisor gave 50/47.
+    std::vector<double> samples(400, 0.0);
+    samples.insert(samples.end(), 550, 1.0);
+    samples.insert(samples.end(), 47, std::exp(1.0));
+    samples.insert(samples.end(), 3,
+                   std::numeric_limits<double>::infinity());
+    EXPECT_NEAR(hillTailIndex(samples, 0.05), 1.0, 1e-12);
 }
 
 TEST(Percentile, NearestRankIsExactOnSmallSets)

@@ -198,6 +198,7 @@ TEST(LoadSweep, PicksLargestGoodLoad)
         p.achievedRps = rps;
         p.p99 = rps <= 800 ? usToNs(50) : msToNs(10);
         p.p50 = usToNs(5);
+        p.completed = 10000;
         return p;
     };
     SweepResult r = sweepLoad(run, 100, 1000, 10, usToNs(100));
@@ -212,10 +213,78 @@ TEST(LoadSweep, RejectsLowAchievedThroughput)
         SweepPoint p;
         p.achievedRps = std::min(rps, 500.0);
         p.p99 = usToNs(10);
+        p.completed = 10000;
         return p;
     };
     SweepResult r = sweepLoad(run, 100, 1000, 10, usToNs(100));
     EXPECT_LE(r.maxGoodRps, 600.0);
+}
+
+TEST(LoadSweep, EmptyPointIsNeverGood)
+{
+    // Regression: a point where nothing completed reports p99 == 0,
+    // which the old `p99 != 0 ? ... : skip` scoring conflated with "no
+    // measurement" only by accident of the bound check; an empty point
+    // with a passing ratio must not count as good throughput.
+    auto run = [](double rps) {
+        SweepPoint p;
+        p.achievedRps = rps; // ratio would pass
+        p.p99 = 0;           // nothing completed
+        p.completed = 0;
+        return p;
+    };
+    SweepResult r = sweepLoad(run, 100, 1000, 10, usToNs(100));
+    EXPECT_EQ(r.maxGoodRps, 0.0);
+}
+
+TEST(LoadSweep, LowLoadQuantizationDoesNotZeroResult)
+{
+    // Regression: at low offered loads a short run completes a
+    // handful of requests, so achieved/offered quantizes below 0.95
+    // even though the system is healthy. The ratio test must not
+    // apply below kMinCompletionsForRatio.
+    auto run = [](double rps) {
+        SweepPoint p;
+        p.completed = 5; // few requests => coarse achieved estimate
+        p.achievedRps = 0.6 * rps;
+        p.p99 = usToNs(10);
+        return p;
+    };
+    SweepResult r = sweepLoad(run, 100, 1000, 10, usToNs(100));
+    EXPECT_NEAR(r.maxGoodRps, 1000, 1.0);
+}
+
+TEST(LoadSweep, GridIsEvenAndInclusive)
+{
+    std::vector<double> g = sweepGrid(100, 1000, 10);
+    ASSERT_EQ(g.size(), 10u);
+    EXPECT_DOUBLE_EQ(g.front(), 100);
+    EXPECT_DOUBLE_EQ(g.back(), 1000);
+    EXPECT_DOUBLE_EQ(g[1] - g[0], 100);
+}
+
+TEST(LoadSweep, ScoreSweepMatchesSweepLoad)
+{
+    // The cell-based API must score identically to the sequential
+    // driver on the same measurements.
+    auto run = [](double rps) {
+        SweepPoint p;
+        p.achievedRps = rps;
+        p.p99 = rps <= 640 ? usToNs(50) : msToNs(10);
+        p.completed = 10000;
+        return p;
+    };
+    SweepResult seq = sweepLoad(run, 100, 1000, 10, usToNs(100));
+
+    std::vector<SweepPoint> cells;
+    for (double rps : sweepGrid(100, 1000, 10)) {
+        SweepPoint p = run(rps);
+        p.offeredRps = rps;
+        cells.push_back(p);
+    }
+    SweepResult scored = scoreSweep(cells, usToNs(100));
+    EXPECT_DOUBLE_EQ(scored.maxGoodRps, seq.maxGoodRps);
+    ASSERT_EQ(scored.points.size(), seq.points.size());
 }
 
 } // namespace
