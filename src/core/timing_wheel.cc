@@ -43,6 +43,38 @@ TimingWheel::horizon() const
     return now_ + span;
 }
 
+TimeNs
+TimingWheel::earliest() const
+{
+    if (live_ == 0)
+        return kTimeNever;
+    TimeNs best = kTimeNever;
+    TimeNs width = tick_;
+    for (int level = 0; level < levels_; ++level) {
+        std::uint64_t base = static_cast<std::uint64_t>(now_) / width;
+        // off == slotCount_ covers the current slot: entries there are
+        // at least a full revolution of this level away.
+        for (std::size_t off = 1; off <= slotCount_; ++off) {
+            std::size_t index = (base + off) & (slotCount_ - 1);
+            const std::vector<Entry> &bucket =
+                slots_[static_cast<std::size_t>(level) * slotCount_ +
+                       index];
+            if (bucket.empty())
+                continue;
+            // Entries in a slot expire no earlier than its start time.
+            if (base + off > kTimeNever / width)
+                break; // saturates past any candidate
+            best = std::min(best,
+                            static_cast<TimeNs>((base + off) * width));
+            break; // nearer slots on this level are empty
+        }
+        if (width > kTimeNever / slotCount_)
+            break;
+        width *= slotCount_;
+    }
+    return best;
+}
+
 void
 TimingWheel::place(Entry entry)
 {

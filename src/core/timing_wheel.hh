@@ -67,6 +67,16 @@ class TimingWheel
     /** Furthest representable deadline from now (saturating). */
     TimeNs horizon() const;
 
+    /**
+     * Conservative lower bound on the next pending deadline, or
+     * kTimeNever when the wheel is empty. The bound is the start time
+     * of the nearest non-empty slot on any level, so it never reports
+     * later than the true next fire (cancelled tombstone entries can
+     * make it report earlier). The timer thread uses it to size naps
+     * between advance() passes over per-worker wheel shards.
+     */
+    TimeNs earliest() const;
+
   private:
     struct Entry
     {

@@ -42,6 +42,7 @@ kindName(EventKind kind)
       case EventKind::HandlerEnter:        return "handler_enter";
       case EventKind::FaultInject:         return "fault_inject";
       case EventKind::FaultRecover:        return "fault_recover";
+      case EventKind::TaskMigrate:         return "task_migrate";
       case EventKind::kCount:              break;
     }
     return "unknown";

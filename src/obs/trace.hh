@@ -87,6 +87,11 @@ enum class EventKind : std::uint16_t
     FaultRecover = 20,      ///< mitigation recovered from a fault;
                             ///< id = fault::Site, a0 = attempt/kind
 
+    // real runtime work stealing (PR 7)
+    TaskMigrate = 21,       ///< task changed workers (steal or long-
+                            ///< queue adoption); id = task,
+                            ///< a0 = from worker, a1 = to worker
+
     kCount
 };
 

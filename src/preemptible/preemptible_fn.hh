@@ -22,6 +22,7 @@
 #ifndef PREEMPT_PREEMPTIBLE_PREEMPTIBLE_FN_HH
 #define PREEMPT_PREEMPTIBLE_PREEMPTIBLE_FN_HH
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <functional>
@@ -77,6 +78,19 @@ class PreemptibleFn
     /** Times this function was preempted. */
     int preemptions() const { return preemptions_; }
 
+    /** True once the body returned and the completion path owns the
+     *  context. The preemption handler declines to context-switch a
+     *  finishing function: the completion sequence reads thread-local
+     *  worker state, and a migration between those reads would leave
+     *  it operating on the old worker — including jumping into that
+     *  worker's live scheduler context. Declining is also the right
+     *  semantics: the function completes within nanoseconds, so the
+     *  slice expiry is moot. */
+    bool finishing() const
+    {
+        return finishing_.load(std::memory_order_relaxed);
+    }
+
     /** Rebind a completed/cancelled function to new work. */
     void reset(std::function<void()> body);
 
@@ -87,25 +101,45 @@ class PreemptibleFn
     friend void fn_cancel(PreemptibleFn &fn);
 
     std::function<void()> body_;
+
+    /** Set by fnEntry the moment body_ returns, before any
+     *  thread-local access on the completion path (the PreemptibleFn
+     *  address is stable across migration, unlike worker TLS). Read
+     *  only from the preemption handler on the thread currently
+     *  running the function, hence relaxed. */
+    std::atomic<bool> finishing_{false};
+
     fcontext::Context ctx_ = nullptr;
     Stack stack_;
     FnState state_ = FnState::Fresh;
     int preemptions_ = 0;
+
+    /** TSan fiber handle for this context (null outside TSan builds).
+     *  Keeps the sanitizer's per-context shadow state migrating with
+     *  the function across workers. */
+    void *tsanFiber_ = nullptr;
 };
 
 /** Per-worker state shared with the preemption handler. */
 class WorkerContext
 {
   public:
-    /** Scheduler-side context while a function runs. */
-    fcontext::Context schedulerCtx = nullptr;
+    /** Scheduler-side context while a function runs. Only the owning
+     *  OS thread ever touches it (it lives in that thread's TLS), but
+     *  writes come from different execution contexts — fnEntry, the
+     *  preemption handler, fn_yield — which TSan models as distinct
+     *  fiber threads; relaxed atomic accesses tell it the serialization
+     *  is intentional without adding fences. */
+    std::atomic<fcontext::Context> schedulerCtx{nullptr};
 
     /** Function currently executing on this worker. */
     PreemptibleFn *current = nullptr;
 
     /** True while the worker executes a preemptible region; the
-     *  handler ignores signals outside it. */
-    volatile sig_atomic_t inRegion = 0;
+     *  handler ignores signals outside it. Relaxed atomic rather than
+     *  volatile sig_atomic_t: equally async-signal-safe, and race-free
+     *  under TSan's fiber model (same rationale as schedulerCtx). */
+    std::atomic<sig_atomic_t> inRegion{0};
 
     /** This worker's LibUtimer deadline slot. */
     DeadlineSlot *slot = nullptr;
@@ -117,6 +151,10 @@ class WorkerContext
     std::uint64_t preemptions = 0;
     std::uint64_t completions = 0;
     std::uint64_t staleSignals = 0;
+
+    /** TSan fiber handle of the scheduler context (null outside TSan
+     *  builds). */
+    void *tsanFiber = nullptr;
 };
 
 /**

@@ -1,5 +1,9 @@
 #include "preemptible/runtime.hh"
 
+#include <array>
+#include <ctime>
+#include <string>
+
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -7,18 +11,52 @@
 
 namespace preempt::runtime {
 
+namespace {
+
+/** Hard cap on a steal round so spoils fit a stack buffer. */
+constexpr std::size_t kMaxStealBatch = 64;
+
+} // namespace
+
 PreemptibleRuntime::PreemptibleRuntime(Options options)
     : options_(std::move(options)), quantum_(options_.quantum)
 {
     fatal_if(options_.nWorkers <= 0, "runtime needs at least one worker");
+    fatal_if(options_.stealBatch == 0 ||
+                 options_.stealBatch > kMaxStealBatch,
+             "stealBatch must be in [1,%zu]", kMaxStealBatch);
     timer_.init(options_.timer);
     startedAt_ = hostNowNs();
+
+    // The shard fire path touches only the task's atomic flag and
+    // counters: the task stays alive because every deletion first
+    // cancels the pending deadline under the same shard mutex the
+    // fire callback runs under.
+    auto onFire = [this](std::uint64_t cookie, TimeNs when,
+                         TimeNs now) {
+        (void)when;
+        (void)now;
+        auto *task = reinterpret_cast<TaskRecord *>(cookie);
+        task->deadlineExpired.store(true, std::memory_order_release);
+        deadlineFires_.fetch_add(1, std::memory_order_relaxed);
+        obs::addCount("runtime.deadline.fires");
+    };
     for (int i = 0; i < options_.nWorkers; ++i) {
-        queues_.push_back(std::make_unique<SpscRing<TaskRecord *>>(
-            options_.queueCapacity));
+        workers_.push_back(std::make_unique<WorkerState>(
+            options_.queueCapacity, options_.seed,
+            static_cast<std::uint64_t>(i)));
+        WorkerState &w = *workers_.back();
+        w.shard = std::make_unique<WheelShard>(
+            options_.wheelTick, options_.wheelSlots,
+            options_.wheelLevels, onFire);
+        w.shard->primeTo(hostNowNs());
+        w.shard->depthGauge =
+            "runtime.wheel.depth/shard" + std::to_string(i);
+        timer_.registerWheel(w.shard.get());
     }
     for (int i = 0; i < options_.nWorkers; ++i)
-        workers_.emplace_back([this, i] { workerMain(i); });
+        workers_[static_cast<std::size_t>(i)]->thread =
+            std::thread([this, i] { workerMain(i); });
 }
 
 PreemptibleRuntime::~PreemptibleRuntime()
@@ -29,43 +67,220 @@ PreemptibleRuntime::~PreemptibleRuntime()
 bool
 PreemptibleRuntime::submit(std::function<void()> body, int cls)
 {
+    std::uint64_t slot = rrNext_.fetch_add(1, std::memory_order_relaxed);
+    return submitTo(static_cast<int>(slot % workers_.size()),
+                    std::move(body), cls, 0);
+}
+
+bool
+PreemptibleRuntime::submitTo(int worker, std::function<void()> body,
+                             int cls, TimeNs deadlineIn)
+{
     fatal_if(!body, "submitting an empty task");
     fatal_if(stopping_.load(), "submit after shutdown");
+    fatal_if(worker < 0 || worker >= options_.nWorkers,
+             "submitTo target out of range");
+    WorkerState &w = *workers_[static_cast<std::size_t>(worker)];
     auto task = std::make_unique<TaskRecord>();
     task->body = std::move(body);
     task->cls = cls;
     task->submitNs = hostNowNs();
-
-    std::uint64_t slot = rrNext_.fetch_add(1, std::memory_order_relaxed);
-    task->id = slot;
-    std::size_t target = slot % queues_.size();
+    task->id = nextTaskId_.fetch_add(1, std::memory_order_relaxed);
+    task->owner = static_cast<std::uint32_t>(worker);
+    if (deadlineIn != 0) {
+        // Arm before publishing: once the task is in the inbox another
+        // worker may complete it (and cancel the deadline) right away.
+        task->deadlineAt = task->submitNs + deadlineIn;
+        task->deadlineId = w.shard->schedule(
+            task->deadlineAt,
+            reinterpret_cast<std::uint64_t>(task.get()));
+        obs::emit(obs::EventKind::TimerArm,
+                  static_cast<std::uint32_t>(worker), task->submitNs,
+                  task->id, task->deadlineAt);
+    }
     obs::emit(obs::EventKind::Dispatch,
-              static_cast<std::uint32_t>(target), task->submitNs,
+              static_cast<std::uint32_t>(worker), task->submitNs,
               task->id, static_cast<std::uint64_t>(cls));
-    // SpscRing is single-producer; serialise multi-threaded submitters.
-    static std::mutex submit_mutex;
-    std::lock_guard<std::mutex> lock(submit_mutex);
-    if (!queues_[target]->push(task.get()))
+    bool pushed;
+    {
+        // SpscRing is single-producer; serialise submitters per worker.
+        std::lock_guard<std::mutex> lock(w.submitMutex);
+        pushed = w.inbox.push(task.get());
+    }
+    if (!pushed) {
+        cancelDeadline(task.get()); // backpressure: revoke and reject
         return false;
+    }
     task.release(); // ownership passed to the worker
     inFlight_.fetch_add(1, std::memory_order_relaxed);
     submitted_.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 
+std::size_t
+PreemptibleRuntime::drainInbox(int index, WorkerState &w)
+{
+    std::size_t moved = 0;
+    TaskRecord *raw = nullptr;
+    while (w.inbox.pop(raw)) {
+        ++moved;
+        if (!w.ready.push(raw)) {
+            // Deque full (stolen backlog + burst): run it right now
+            // rather than lose it.
+            runTask(index, std::unique_ptr<TaskRecord>(raw));
+        }
+    }
+    return moved;
+}
+
+TaskRecord *
+PreemptibleRuntime::trySteal(int self)
+{
+    const int n = options_.nWorkers;
+    if (!options_.stealing || n < 2)
+        return nullptr;
+    WorkerState &me = *workers_[static_cast<std::size_t>(self)];
+
+    // Draw a worker index other than self from this worker's stream.
+    auto pick = [&]() {
+        std::uint32_t r =
+            me.rng.next() % static_cast<std::uint32_t>(n - 1);
+        int v = static_cast<int>(r);
+        return v >= self ? v + 1 : v;
+    };
+
+    std::array<TaskRecord *, kMaxStealBatch> spoils;
+    for (int round = 0; round < options_.stealRounds; ++round) {
+        stealAttempts_.fetch_add(1, std::memory_order_relaxed);
+        obs::addCount("runtime.steal.attempt");
+
+        // Two-choice: probe two distinct victims, raid the longer one.
+        int v1 = pick();
+        int victim = v1;
+        if (n > 2) {
+            std::uint32_t r =
+                me.rng.next() % static_cast<std::uint32_t>(n - 2);
+            int v2 = v1;
+            for (int i = 0, seen = 0; i < n; ++i) {
+                if (i == self || i == v1)
+                    continue;
+                if (seen++ == static_cast<int>(r)) {
+                    v2 = i;
+                    break;
+                }
+            }
+            std::size_t s1 =
+                workers_[static_cast<std::size_t>(v1)]->ready.size();
+            std::size_t s2 =
+                workers_[static_cast<std::size_t>(v2)]->ready.size();
+            victim = s1 >= s2 ? v1 : v2;
+        }
+
+        StealResult last = StealResult::Empty;
+        std::size_t got =
+            workers_[static_cast<std::size_t>(victim)]->ready.stealBatch(
+                spoils.data(), options_.stealBatch, &last);
+        if (last == StealResult::Abort) {
+            stealAborts_.fetch_add(1, std::memory_order_relaxed);
+            obs::addCount("runtime.steal.abort");
+        }
+        if (got == 0)
+            continue;
+        stealHits_.fetch_add(got, std::memory_order_relaxed);
+        obs::addCount("runtime.steal.hit", got);
+        obs::emit(obs::EventKind::Steal,
+                  static_cast<std::uint32_t>(self), hostNowNs(), got,
+                  static_cast<std::uint64_t>(victim));
+        for (std::size_t i = 0; i < got; ++i)
+            migrateTask(spoils[i], self);
+        // Keep the oldest (spoils[0]) to run now; stage the rest so
+        // LIFO pops still see them oldest-first.
+        for (std::size_t i = got; i > 1; --i) {
+            if (!me.ready.push(spoils[i - 1]))
+                runTask(self, std::unique_ptr<TaskRecord>(spoils[i - 1]));
+        }
+        return spoils[0];
+    }
+    return nullptr;
+}
+
+void
+PreemptibleRuntime::migrateTask(TaskRecord *task, int to)
+{
+    int from = static_cast<int>(task->owner);
+    if (from == to)
+        return;
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    obs::addCount("runtime.migrations");
+    obs::emit(obs::EventKind::TaskMigrate,
+              static_cast<std::uint32_t>(to), hostNowNs(), task->id,
+              static_cast<std::uint64_t>(from),
+              static_cast<std::uint64_t>(to));
+    if (task->deadlineId != 0) {
+        // Move the pending deadline to the adopting worker's shard.
+        // cancel() false means the fire callback already ran (fully,
+        // under the shard mutex) — nothing left to move.
+        WheelShard &fromShard =
+            *workers_[static_cast<std::size_t>(from)]->shard;
+        if (fromShard.cancel(task->deadlineId)) {
+            task->deadlineId =
+                workers_[static_cast<std::size_t>(to)]->shard->schedule(
+                    task->deadlineAt,
+                    reinterpret_cast<std::uint64_t>(task));
+        } else {
+            task->deadlineId = 0;
+        }
+    }
+    task->owner = static_cast<std::uint32_t>(to);
+}
+
+void
+PreemptibleRuntime::cancelDeadline(TaskRecord *task)
+{
+    if (task->deadlineId == 0)
+        return;
+    workers_[task->owner]->shard->cancel(task->deadlineId);
+    task->deadlineId = 0;
+}
+
+bool
+PreemptibleRuntime::deadlineHopeless(const TaskRecord *task) const
+{
+    // Trust the wheel's verdict, but also consult the wall clock
+    // directly: on an oversubscribed host the timer thread may be
+    // starved past a deadline it has not yet marked.
+    if (task->deadlineExpired.load(std::memory_order_acquire))
+        return true;
+    return task->deadlineAt != 0 && hostNowNs() >= task->deadlineAt;
+}
+
+void
+PreemptibleRuntime::dropTask(int worker, std::unique_ptr<TaskRecord> task)
+{
+    cancelDeadline(task.get());
+    expiredDrops_.fetch_add(1, std::memory_order_relaxed);
+    obs::addCount("runtime.expired_drops");
+    obs::emit(obs::EventKind::CancelRequest,
+              static_cast<std::uint32_t>(worker), hostNowNs(),
+              task->id, hostNowNs() - task->submitNs);
+    inFlight_.fetch_sub(1, std::memory_order_release);
+}
+
 void
 PreemptibleRuntime::workerMain(int index)
 {
     WorkerContext &ctx = workerInit(timer_);
-    auto &queue = *queues_[static_cast<std::size_t>(index)];
+    WorkerState &w = *workers_[static_cast<std::size_t>(index)];
 
     for (;;) {
         // Policy #1: new tasks take priority over preempted ones.
         TaskRecord *raw = nullptr;
-        if (queue.pop(raw)) {
+        if (w.ready.pop(raw)) {
             runTask(index, std::unique_ptr<TaskRecord>(raw));
             continue;
         }
+        if (drainInbox(index, w) > 0)
+            continue;
         std::unique_ptr<TaskRecord> parked;
         {
             std::lock_guard<std::mutex> lock(longMutex_);
@@ -75,7 +290,14 @@ PreemptibleRuntime::workerMain(int index)
             }
         }
         if (parked) {
+            migrateTask(parked.get(), index);
             runTask(index, std::move(parked));
+            continue;
+        }
+        // Steal before napping: placement skew must not idle us while
+        // a peer drowns.
+        if (TaskRecord *stolen = trySteal(index)) {
+            runTask(index, std::unique_ptr<TaskRecord>(stolen));
             continue;
         }
         if (stopping_.load(std::memory_order_acquire) &&
@@ -102,6 +324,11 @@ PreemptibleRuntime::runTask(int worker, std::unique_ptr<TaskRecord> task)
     TimeNs slice = quantum_.load(std::memory_order_relaxed);
     std::uint32_t track = static_cast<std::uint32_t>(worker);
     bool fresh = !task->fn;
+    if (options_.dropExpired && fresh && deadlineHopeless(task.get())) {
+        // SLO already hopeless: never launch (section III-B).
+        dropTask(worker, std::move(task));
+        return;
+    }
     obs::emit(fresh ? obs::EventKind::Launch : obs::EventKind::Resume,
               track, hostNowNs(), task->id, slice);
     if (fresh) {
@@ -112,6 +339,7 @@ PreemptibleRuntime::runTask(int worker, std::unique_ptr<TaskRecord> task)
     }
 
     if (status == FnStatus::Completed) {
+        cancelDeadline(task.get());
         task->finishNs = hostNowNs();
         TimeNs sojourn = task->finishNs - task->submitNs;
         obs::emit(obs::EventKind::Complete, track, task->finishNs,
@@ -128,11 +356,18 @@ PreemptibleRuntime::runTask(int worker, std::unique_ptr<TaskRecord> task)
         return;
     }
 
-    // Preempted or yielded: park on the shared long queue.
+    // Preempted or yielded.
     preemptions_.fetch_add(1, std::memory_order_relaxed);
     obs::emit(obs::EventKind::Preempt, track, hostNowNs(), task->id,
               slice);
     obs::addCount("runtime.preemptions");
+    if (options_.dropExpired && deadlineHopeless(task.get())) {
+        // Expired mid-run: release the stack instead of finishing.
+        fn_cancel(*task->fn);
+        dropTask(worker, std::move(task));
+        return;
+    }
+    // Park on the shared long queue.
     std::lock_guard<std::mutex> lock(longMutex_);
     longQueue_.push_back(std::move(task));
 }
@@ -152,10 +387,14 @@ PreemptibleRuntime::shutdown()
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true))
         return;
-    for (auto &t : workers_) {
-        if (t.joinable())
-            t.join();
+    for (auto &w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
     }
+    // Detach the wheel shards before stopping the timer so nothing
+    // advances them once the runtime starts tearing down.
+    for (auto &w : workers_)
+        timer_.unregisterWheel(w->shard.get());
     timer_.shutdown();
 }
 
@@ -166,6 +405,12 @@ PreemptibleRuntime::stats() const
     s.submitted = submitted_.load();
     s.completed = completed_.load();
     s.preemptions = preemptions_.load();
+    s.stealAttempts = stealAttempts_.load();
+    s.stealHits = stealHits_.load();
+    s.stealAborts = stealAborts_.load();
+    s.migrations = migrations_.load();
+    s.deadlineFires = deadlineFires_.load();
+    s.expiredDrops = expiredDrops_.load();
     std::lock_guard<std::mutex> lock(statsMutex_);
     s.staleSignals = staleSignals_;
     s.lcLatency = lcLatency_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "preemptible/hosttime.hh"
 #include "preemptible/uintr_syscalls.hh"
@@ -47,7 +48,8 @@ UTimer::registerThread()
     for (auto &slot : slots_) {
         bool expected = false;
         if (slot.inUse.compare_exchange_strong(expected, true)) {
-            slot.tid = ::pthread_self();
+            slot.tid.store(::pthread_self(),
+                           std::memory_order_release);
             slot.deadline.store(kTimeNever, std::memory_order_release);
             return &slot;
         }
@@ -62,6 +64,23 @@ UTimer::unregisterThread(DeadlineSlot *slot)
     panic_if(!slot, "unregistering a null slot");
     slot->deadline.store(kTimeNever, std::memory_order_release);
     slot->inUse.store(false, std::memory_order_release);
+}
+
+void
+UTimer::registerWheel(WheelShard *shard)
+{
+    panic_if(!shard, "registering a null wheel shard");
+    std::lock_guard<std::mutex> lock(wheelsMutex_);
+    wheels_.push_back(shard);
+}
+
+void
+UTimer::unregisterWheel(WheelShard *shard)
+{
+    // Taking wheelsMutex_ also waits out any advance pass that already
+    // iterates the list, so the caller may free the shard on return.
+    std::lock_guard<std::mutex> lock(wheelsMutex_);
+    std::erase(wheels_, shard);
 }
 
 void
@@ -96,10 +115,32 @@ UTimer::timerLoop()
                     if (usingUintr_ && uipi >= 0)
                         senduipi(static_cast<unsigned long>(uipi));
                     else
-                        ::pthread_kill(slot.tid, options_.signo);
+                        ::pthread_kill(
+                            slot.tid.load(std::memory_order_acquire),
+                            options_.signo);
                 }
             } else {
                 soonest = std::min(soonest, dl);
+            }
+        }
+
+        // Advance every registered per-worker wheel shard and fold its
+        // next-fire hint into the nap decision.
+        {
+            std::lock_guard<std::mutex> lock(wheelsMutex_);
+            bool sampleDepth =
+                (scans_.load(std::memory_order_relaxed) & 63) == 0;
+            for (WheelShard *shard : wheels_) {
+                std::uint64_t before = shard->fires();
+                shard->advance(now);
+                wheelFiresTotal_.fetch_add(shard->fires() - before,
+                                           std::memory_order_relaxed);
+                soonest = std::min(soonest, shard->earliestHint());
+                if (sampleDepth && !shard->depthGauge.empty()) {
+                    obs::setGauge(shard->depthGauge.c_str(),
+                                  static_cast<std::int64_t>(
+                                      shard->depth()));
+                }
             }
         }
 

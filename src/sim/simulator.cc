@@ -16,21 +16,31 @@ Simulator::every(TimeNs interval, std::function<void(TimeNs)> fn)
 {
     fatal_if(interval == 0, "periodic task interval must be > 0");
     // Shared state so the cancel closure can stop future reschedules.
-    auto state = std::make_shared<std::pair<bool, EventId>>(false,
-                                                            kInvalidEvent);
-    auto tick = std::make_shared<std::function<void(TimeNs)>>();
-    *tick = [this, interval, fn = std::move(fn), state, tick](TimeNs t) {
-        if (state->first)
-            return;
-        fn(t);
-        if (!state->first)
-            state->second = events_.schedule(t + interval, *tick);
+    // Each scheduled tick is a fresh lambda holding the state; the
+    // state itself holds no self-reference, so nothing leaks when the
+    // last pending tick is destroyed (a self-capturing std::function
+    // would be an unreclaimable shared_ptr cycle).
+    auto p = std::make_shared<Periodic>();
+    p->interval = interval;
+    p->fn = std::move(fn);
+    p->id = after(interval, [this, p](TimeNs t) { periodicStep(p, t); });
+    return [this, p]() {
+        p->cancelled = true;
+        events_.cancel(p->id);
     };
-    state->second = after(interval, *tick);
-    return [this, state]() {
-        state->first = true;
-        events_.cancel(state->second);
-    };
+}
+
+void
+Simulator::periodicStep(const std::shared_ptr<Periodic> &p, TimeNs t)
+{
+    if (p->cancelled)
+        return;
+    p->fn(t);
+    if (!p->cancelled) {
+        p->id = events_.schedule(
+            t + p->interval,
+            [this, p](TimeNs next) { periodicStep(p, next); });
+    }
 }
 
 void

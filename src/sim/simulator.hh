@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "common/rng.hh"
 #include "common/time.hh"
@@ -70,6 +71,17 @@ class Simulator
     std::uint64_t eventsRun() const { return eventsRun_; }
 
   private:
+    /** Shared state of one every() registration. */
+    struct Periodic
+    {
+        bool cancelled = false;
+        EventId id = kInvalidEvent;
+        TimeNs interval = 0;
+        std::function<void(TimeNs)> fn;
+    };
+
+    void periodicStep(const std::shared_ptr<Periodic> &p, TimeNs t);
+
     TimeNs now_;
     EventQueue events_;
     Rng rng_;

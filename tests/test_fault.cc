@@ -655,7 +655,11 @@ TEST(FaultRuntimeTest, SameSeedSamePlanGivesByteIdenticalTraces)
     };
     std::string a = traced(61);
     std::string b = traced(61);
+#ifndef PREEMPT_OBS_DISABLED
+    // With instrumentation compiled out the trace is near-empty but
+    // must still be byte-identical.
     EXPECT_GT(a.size(), 1000u);
+#endif
     EXPECT_EQ(a, b);
 }
 

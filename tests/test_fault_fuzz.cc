@@ -335,7 +335,11 @@ TEST(ZeroFaultAb, NonePlanLeavesTraceByteIdentical)
     };
     std::string baseline = traced(false);
     std::string with_none = traced(true);
+#ifndef PREEMPT_OBS_DISABLED
+    // With instrumentation compiled out the trace is near-empty but
+    // must still be byte-identical.
     EXPECT_GT(baseline.size(), 1000u);
+#endif
     EXPECT_EQ(baseline, with_none);
 }
 

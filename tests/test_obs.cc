@@ -173,6 +173,7 @@ TEST(TraceGolden, KindCatalogValuesAndNamesAreStable)
         {EventKind::HandlerEnter, "handler_enter"},
         {EventKind::FaultInject, "fault_inject"},
         {EventKind::FaultRecover, "fault_recover"},
+        {EventKind::TaskMigrate, "task_migrate"},
     };
     std::uint16_t expected = 0;
     for (const auto &[kind, name] : kCatalog) {

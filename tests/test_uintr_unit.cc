@@ -292,8 +292,9 @@ TEST_P(UintrStateMatrix, EveryTransitionComboDeliversExactlyOnce)
         unit.setBlocked(rx, true);
     else if (!want_running)
         unit.setRunning(rx, false);
-    if (want_blocked)
+    if (want_blocked) {
         EXPECT_FALSE(unit.running(rx));
+    }
 
     unit.senduipi(uipi);
     sim.runAll();
@@ -302,8 +303,9 @@ TEST_P(UintrStateMatrix, EveryTransitionComboDeliversExactlyOnce)
     EXPECT_EQ(deliveries, immediate ? 1 : 0)
         << "running=" << want_running << " uif=" << want_uif
         << " blocked=" << want_blocked;
-    if (!immediate)
+    if (!immediate) {
         EXPECT_EQ(unit.pending(rx), 1ULL << 7);
+    }
 
     // Re-enable eligibility one transition at a time; each transition
     // must re-check the PIR.

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a freshly generated BENCH_*.json against the checked-in
+reference of the same bench.
+
+The reference file acts as the schema: the generated file must contain
+exactly the same keys with the same JSON shapes (objects, arrays,
+numbers, strings). Every number must be finite, and any field that
+names a ratio (speedup, *_ratio) must be strictly positive — a NaN or
+zero there means the bench silently divided by a failed measurement.
+
+Usage: check_bench_json.py GENERATED REFERENCE
+"""
+
+import json
+import math
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"schema check failed at {path or '<root>'}: {msg}")
+
+
+def is_ratio_key(key):
+    return key == "speedup" or key.endswith("_speedup") or \
+        key.endswith("_ratio")
+
+
+def check(gen, ref, path="", key=""):
+    if isinstance(ref, dict):
+        if not isinstance(gen, dict):
+            fail(path, f"expected object, got {type(gen).__name__}")
+        missing = sorted(ref.keys() - gen.keys())
+        extra = sorted(gen.keys() - ref.keys())
+        if missing:
+            fail(path, f"missing keys {missing}")
+        if extra:
+            fail(path, f"unexpected keys {extra}")
+        for k in ref:
+            check(gen[k], ref[k], f"{path}.{k}" if path else k, k)
+    elif isinstance(ref, list):
+        if not isinstance(gen, list):
+            fail(path, f"expected array, got {type(gen).__name__}")
+        if not gen:
+            fail(path, "array is empty")
+        # Arrays are homogeneous: validate every element against the
+        # reference's first element.
+        for i, item in enumerate(gen):
+            check(item, ref[0], f"{path}[{i}]", key)
+    elif isinstance(ref, bool):
+        if not isinstance(gen, bool):
+            fail(path, f"expected bool, got {type(gen).__name__}")
+    elif isinstance(ref, (int, float)):
+        if isinstance(gen, bool) or not isinstance(gen, (int, float)):
+            fail(path, f"expected number, got {type(gen).__name__}")
+        if not math.isfinite(gen):
+            fail(path, f"non-finite number {gen}")
+        if is_ratio_key(key) and gen <= 0:
+            fail(path, f"ratio must be > 0, got {gen}")
+    elif isinstance(ref, str):
+        if not isinstance(gen, str):
+            fail(path, f"expected string, got {type(gen).__name__}")
+    elif ref is None:
+        if gen is not None:
+            fail(path, f"expected null, got {type(gen).__name__}")
+    else:
+        fail(path, f"unhandled reference type {type(ref).__name__}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    generated, reference = sys.argv[1], sys.argv[2]
+    with open(generated) as f:
+        gen = json.load(f)
+    with open(reference) as f:
+        ref = json.load(f)
+    check(gen, ref)
+    bench = gen.get("bench", "?") if isinstance(gen, dict) else "?"
+    print(f"{generated}: schema OK (bench={bench})")
+
+
+if __name__ == "__main__":
+    main()
