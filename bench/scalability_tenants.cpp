@@ -48,6 +48,7 @@ runTenants(int n_tenants, int workers_each, double rps_each,
         runtime_sim::LibPreemptibleConfig rc;
         rc.nWorkers = workers_each;
         rc.quantum = usToNs(5);
+        rc.tenant = static_cast<std::uint32_t>(t + 1);
         tenants.push_back(
             std::make_unique<runtime_sim::LibPreemptibleSim>(sim, cfg,
                                                              rc));
@@ -92,6 +93,7 @@ runRealTenants(int n_tenants, int workers_each, int tasks_each,
         opt.queueCapacity =
             static_cast<std::size_t>(tasks_each) + 64;
         opt.idleNap = usToNs(50);
+        opt.tenant = static_cast<std::uint32_t>(t + 1);
         tenants.push_back(
             std::make_unique<runtime::PreemptibleRuntime>(opt));
     }

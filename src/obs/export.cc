@@ -98,7 +98,14 @@ writeChromeTrace(const Tracer &tracer, std::ostream &os)
     }
     for (const TraceRecord &r : records)
         writeEvent(os, r, first);
-    os << "\n]}\n";
+    // Top-level metadata (Chrome trace JSON allows extra keys): ring
+    // losses, so a consumer can tell a complete trace from one whose
+    // head was overwritten (drop-oldest) or that lost records to
+    // out-of-range core ids.
+    os << "\n], \"metadata\": {\"records\": " << records.size()
+       << ", \"dropped_overwritten\": " << tracer.totalDropped()
+       << ", \"dropped_out_of_range\": " << tracer.droppedOutOfRange()
+       << "}}\n";
 }
 
 void

@@ -6,10 +6,11 @@
  * trace-event JSON ("JSON Object Format"), loadable in Perfetto
  * (ui.perfetto.dev) or chrome://tracing: one thread track per core,
  * one process per epoch (run), instant events carrying the record
- * payload in args. Output is deterministic: records are gathered in
- * ring order and stably sorted by (epoch, ts, core), timestamps are
- * fixed-point microseconds, so same-seed simulations export
- * byte-identical files.
+ * payload in args, plus a top-level "metadata" object with the record
+ * count and the tracer's drop counters (overwritten / out-of-range).
+ * Output is deterministic: records are gathered in ring order and
+ * stably sorted by (epoch, ts, core), timestamps are fixed-point
+ * microseconds, so same-seed simulations export byte-identical files.
  *
  * validateJson() is a dependency-free structural JSON checker used by
  * tests and the CI smoke run.

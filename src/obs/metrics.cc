@@ -138,6 +138,23 @@ MetricsRegistry::toJson() const
     return os.str();
 }
 
+MetricsSnapshot
+MetricsRegistry::snapshotValues() const
+{
+    MetricsSnapshot out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.counters.emplace_back(name, c->value());
+    out.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.gauges.emplace_back(name, g->value());
+    out.timers.reserve(timers_.size());
+    for (const auto &[name, t] : timers_)
+        out.timers.emplace_back(name, t->histogram());
+    return out;
+}
+
 void
 MetricsRegistry::absorb(const MetricsRegistry &donor)
 {

@@ -23,6 +23,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/histogram.hh"
 
@@ -98,6 +100,14 @@ class TimerMetric
     LatencyHistogram hist_;
 };
 
+/** Value dump of a whole registry (telemetry snapshotting). */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, LatencyHistogram>> timers;
+};
+
 /** The registry. Creation-by-name is thread-safe. */
 class MetricsRegistry
 {
@@ -121,6 +131,14 @@ class MetricsRegistry
      * the bare family name. Keys are sorted (deterministic output).
      */
     std::string toJson() const;
+
+    /**
+     * Name-sorted value dump of every metric (the telemetry
+     * publisher's per-interval read). Counter/gauge values are
+     * relaxed loads — consistent per metric, not across metrics;
+     * timer histograms are copied under their own locks.
+     */
+    MetricsSnapshot snapshotValues() const;
 
     /**
      * Fold another registry into this one (the parallel harness merges

@@ -16,14 +16,54 @@ Session::Session(CommandLine &cli, Options options)
     traceOut_ = cli.getString("trace-out", "");
     metricsOut_ = cli.getString("metrics-out", "");
 
+    // Telemetry flags are parsed unconditionally so OBS-off builds
+    // accept (and ignore) them instead of dying in rejectUnknown().
+    std::int64_t statsIntervalMs = cli.getInt("stats-interval", 0);
+    std::int64_t statsPort = cli.getInt("stats-port", -1);
+    statsDump_ = cli.getString("stats-dump", "");
+    std::int64_t statsSloUs = cli.getInt("stats-slo-us", 0);
+    bool wantTelemetry =
+        statsIntervalMs > 0 || statsPort >= 0 || !statsDump_.empty();
+
     if (!traceOut_.empty()) {
         tracer_ = std::make_unique<Tracer>(options.tracer);
         setTracer(tracer_.get());
     }
-    if (!metricsOut_.empty()) {
+    if (!metricsOut_.empty() || wantTelemetry) {
         metrics_ = std::make_unique<MetricsRegistry>();
         setMetricsRegistry(metrics_.get());
     }
+
+#ifndef PREEMPT_OBS_DISABLED
+    if (wantTelemetry) {
+        SpanCollector::Options sopt;
+        sopt.sloNs = statsSloUs > 0
+                         ? usToNs(static_cast<double>(statsSloUs))
+                         : 0;
+        spans_ = std::make_unique<SpanCollector>(sopt);
+        setSpanCollector(spans_.get());
+
+        TelemetryPublisher::Options topt;
+        topt.interval =
+            msToNs(static_cast<double>(statsIntervalMs > 0
+                                           ? statsIntervalMs
+                                           : 1000));
+        topt.port = static_cast<int>(statsPort);
+        topt.dumpPath = statsDump_;
+        topt.installSigusr2 = !statsDump_.empty();
+        publisher_ = std::make_unique<TelemetryPublisher>(
+            metrics_.get(), spans_.get(), topt);
+        publisher_->start();
+        if (publisher_->port() >= 0)
+            inform("telemetry: serving /metrics on 127.0.0.1:%d",
+                   publisher_->port());
+    }
+#else
+    if (wantTelemetry)
+        warn_once("--stats-* flags ignored: built with "
+                  "-DPREEMPT_OBS=OFF");
+    (void)statsSloUs;
+#endif
 }
 
 Session::~Session()
@@ -48,6 +88,22 @@ Session::flush()
     if (flushed_)
         return;
     flushed_ = true;
+
+#ifndef PREEMPT_OBS_DISABLED
+    // Wind the telemetry plane down first: the publisher's final tick
+    // (and exit dump, when --stats-dump was given) then sees the
+    // workload's last sampler values and finished spans.
+    if (spans_) {
+        setSpanCollector(nullptr);
+        spans_->drainOpen();
+    }
+    if (publisher_) {
+        if (!statsDump_.empty())
+            publisher_->dumpNow();
+        publisher_->stop();
+    }
+#endif
+
     if (tracer_) {
         writeChromeTrace(*tracer_, traceOut_);
         if (tracer_->totalDropped() || tracer_->droppedOutOfRange()) {
@@ -59,8 +115,17 @@ Session::flush()
                        tracer_->droppedOutOfRange()));
         }
     }
-    if (metrics_)
+    if (metrics_ && !metricsOut_.empty()) {
+        // Ring losses land in the metrics dump too, so a metrics-only
+        // consumer can see trace truncation without the trace file.
+        if (tracer_) {
+            metrics_->counter("obs.trace.dropped.overwritten")
+                .add(tracer_->totalDropped());
+            metrics_->counter("obs.trace.dropped.out_of_range")
+                .add(tracer_->droppedOutOfRange());
+        }
         writeMetricsJson(*metrics_, metricsOut_);
+    }
 }
 
 } // namespace preempt::obs

@@ -14,6 +14,18 @@
  * destroyed (normally at the end of main). Without those flags the
  * session installs nothing and instrumentation stays on its
  * disabled fast path.
+ *
+ * Live telemetry (obs/telemetry.hh) rides the same wiring:
+ *   --stats-interval=MS   publish a snapshot every MS milliseconds
+ *   --stats-port=P        serve /metrics over HTTP on 127.0.0.1:P
+ *                         (0 = ephemeral port)
+ *   --stats-dump=PATH     SIGUSR2 / exit writes the JSON snapshot here
+ *   --stats-slo-us=N      count span totals above N us as violations
+ * Any of the first three switches the telemetry plane on: the session
+ * then also installs a live SpanCollector (per-tenant scheduler-delay
+ * attribution) and starts a TelemetryPublisher over the registry (one
+ * is created even without --metrics-out). Under -DPREEMPT_OBS=OFF the
+ * flags are accepted and ignored.
  */
 
 #ifndef PREEMPT_OBS_SESSION_HH
@@ -23,6 +35,8 @@
 #include <string>
 
 #include "obs/metrics.hh"
+#include "obs/spans.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 
 namespace preempt {
@@ -53,7 +67,17 @@ class Session
     bool tracing() const { return tracer_ != nullptr; }
 
     /** True when --metrics-out was given. */
-    bool metrics() const { return metrics_ != nullptr; }
+    bool metrics() const { return !metricsOut_.empty(); }
+
+    /** True when the live telemetry plane is running. */
+    bool telemetry() const
+    {
+#ifndef PREEMPT_OBS_DISABLED
+        return publisher_ != nullptr;
+#else
+        return false;
+#endif
+    }
 
     /**
      * Label the runs of a multi-configuration bench: each call starts
@@ -68,8 +92,17 @@ class Session
     /** The installed tracer (nullptr when --trace-out was absent). */
     Tracer *tracerPtr() { return tracer_.get(); }
 
-    /** The installed registry (nullptr when --metrics-out was absent). */
+    /** The installed registry. Non-null when --metrics-out or any
+     *  --stats-* flag was given. */
     MetricsRegistry *metricsPtr() { return metrics_.get(); }
+
+#ifndef PREEMPT_OBS_DISABLED
+    /** The live publisher (nullptr without --stats-* flags). */
+    TelemetryPublisher *telemetryPtr() { return publisher_.get(); }
+
+    /** The live span collector (nullptr without --stats-* flags). */
+    SpanCollector *spansPtr() { return spans_.get(); }
+#endif
 
     /** Tracer shape; per-cell tracers in the parallel harness clone
      *  this so capacity-driven drop behaviour matches a solo run. */
@@ -78,9 +111,14 @@ class Session
   private:
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<MetricsRegistry> metrics_;
+#ifndef PREEMPT_OBS_DISABLED
+    std::unique_ptr<SpanCollector> spans_;
+    std::unique_ptr<TelemetryPublisher> publisher_;
+#endif
     Options options_;
     std::string traceOut_;
     std::string metricsOut_;
+    std::string statsDump_;
     bool flushed_ = false;
 };
 

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Live telemetry plane: an always-on stats exporter over the metrics
+ * registry and span collector.
+ *
+ * A TelemetryPublisher owns a background thread that, every
+ * --stats-interval, polls the registered live samplers (the real
+ * runtime publishes per-worker state through them), snapshots every
+ * counter/gauge/timer of a MetricsRegistry plus the per-tenant span
+ * delay breakdowns of a SpanCollector, derives per-counter rates and
+ * per-gauge watermarks, and publishes the result through a double
+ * buffer: readers never block the writer, and a torn read is
+ * impossible (tests/test_telemetry.cc hammers exactly that).
+ *
+ * Scrape paths:
+ *   - HTTP (dependency-free, loopback by default): GET /metrics is
+ *     Prometheus text exposition, GET /metrics.json (or /json) the
+ *     flat JSON snapshot, GET /healthz a liveness probe;
+ *   - SIGUSR2 / file dump for no-network environments: the signal (or
+ *     dumpNow()) makes the publisher thread write the JSON snapshot
+ *     to the configured path on its next tick.
+ *
+ * Everything here compiles out under -DPREEMPT_OBS=OFF: the header
+ * degrades to inert stubs and telemetry.cc contributes no symbols —
+ * CI greps the archive to prove it.
+ */
+
+#ifndef PREEMPT_OBS_TELEMETRY_HH
+#define PREEMPT_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/time.hh"
+
+#ifndef PREEMPT_OBS_DISABLED
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/spans.hh"
+
+namespace preempt::obs {
+
+/** One published snapshot: plain data, cheap to copy. */
+struct TelemetrySnapshot
+{
+    struct CounterSample
+    {
+        std::string name;
+        std::uint64_t value = 0;
+        double ratePerSec = 0; ///< delta vs the previous snapshot
+    };
+
+    struct GaugeSample
+    {
+        std::string name;
+        std::int64_t value = 0;
+        std::int64_t watermark = 0; ///< max value ever snapshotted
+    };
+
+    struct TimerSample
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        double mean = 0;
+        std::uint64_t p50 = 0;
+        std::uint64_t p90 = 0;
+        std::uint64_t p99 = 0;
+        std::uint64_t p999 = 0;
+    };
+
+    /** Per-tenant span delay breakdown (obs/spans.hh). */
+    struct TenantSpans
+    {
+        std::uint32_t tenant = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t violations = 0;
+        TimerSample queued;
+        TimerSample running;
+        TimerSample preempted;
+        TimerSample timerLag;
+        TimerSample total;
+    };
+
+    std::uint64_t seq = 0;       ///< snapshot number, monotonic
+    std::uint64_t wallNs = 0;    ///< CLOCK_REALTIME at build time
+    std::uint64_t monoNs = 0;    ///< CLOCK_MONOTONIC at build time
+    double uptimeSec = 0;        ///< since the publisher started
+    double intervalSec = 0;      ///< configured publish interval
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<TimerSample> timers;
+    std::vector<TenantSpans> spans;
+    std::uint64_t spanInvariantViolations = 0;
+    std::uint64_t spanAnomalies = 0;
+
+    /** FNV-1a over every field; lets readers prove integrity. */
+    std::uint64_t checksum = 0;
+
+    /** Recompute the checksum field's expected value. */
+    std::uint64_t computeChecksum() const;
+};
+
+/** Prometheus text exposition (version 0.0.4) of a snapshot. */
+std::string renderPrometheus(const TelemetrySnapshot &snap);
+
+/** Flat JSON rendering (schema "preempt.telemetry.v1"). */
+std::string renderTelemetryJson(const TelemetrySnapshot &snap);
+
+/**
+ * Register a live sampler: a callback the publisher invokes right
+ * before building each snapshot, on the publisher thread, with the
+ * publisher's registry. Samplers write gauges/counters into it (the
+ * real runtime publishes per-worker scheduler state this way).
+ * Registration works with no publisher alive — samplers simply never
+ * run.
+ * @return id for unregisterTelemetrySampler.
+ */
+std::uint64_t
+registerTelemetrySampler(std::function<void(MetricsRegistry &)> fn);
+
+/** Remove a sampler; after return it will not be invoked again. */
+void unregisterTelemetrySampler(std::uint64_t id);
+
+/** The publisher. */
+class TelemetryPublisher
+{
+  public:
+    struct Options
+    {
+        /** Publish interval. */
+        TimeNs interval = msToNs(1000);
+
+        /**
+         * HTTP listener port on 127.0.0.1: -1 = no listener,
+         * 0 = ephemeral (read the bound port with port()).
+         */
+        int port = -1;
+
+        /** JSON dump path for the SIGUSR2 / dumpNow() fallback
+         *  ("" = disabled). */
+        std::string dumpPath;
+
+        /** Install a SIGUSR2 handler that requests a dump. */
+        bool installSigusr2 = false;
+    };
+
+    /**
+     * @param registry metrics source (may be null: snapshots then
+     *        carry only publisher heartbeat + span data)
+     * @param spans live span collector (may be null)
+     */
+    TelemetryPublisher(MetricsRegistry *registry, SpanCollector *spans,
+                       Options options);
+    ~TelemetryPublisher();
+
+    TelemetryPublisher(const TelemetryPublisher &) = delete;
+    TelemetryPublisher &operator=(const TelemetryPublisher &) = delete;
+
+    /** Start the publisher (and listener) threads. */
+    void start();
+
+    /** Stop threads; idempotent, also done by the destructor. */
+    void stop();
+
+    /** Bound HTTP port, or -1 when no listener is running. */
+    int port() const { return boundPort_; }
+
+    /** Build + publish a snapshot immediately (tests, final flush). */
+    void tickNow();
+
+    /** Request a JSON dump to Options::dumpPath on the next tick. */
+    void dumpNow();
+
+    /**
+     * Lock-free torn-proof read of the latest published snapshot
+     * (copies out; empty snapshot with seq 0 before the first tick).
+     */
+    TelemetrySnapshot snapshot() const;
+
+    /** Snapshots published so far. */
+    std::uint64_t published() const
+    {
+        return seq_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void publisherLoop();
+    void listenerLoop();
+    void buildAndPublish();
+    void writeDump(const TelemetrySnapshot &snap);
+    bool openListener();
+    void serveClient(int fd);
+
+    MetricsRegistry *registry_;
+    SpanCollector *spans_;
+    Options options_;
+
+    // Double buffer: the writer fills buffers_[(seq+1) & 1] under
+    // that buffer's mutex, then publishes by storing seq+1; readers
+    // copy buffers_[seq & 1] under its mutex. A raw seqlock would
+    // tear the std::strings inside a snapshot (UB, not just a
+    // mismatched checksum), so each buffer carries a mutex — but the
+    // writer and readers only meet on the same buffer if a reader
+    // lags a full publish interval, so reads are wait-free in
+    // practice and never delay a publish. One writer (the publisher
+    // thread, or tickNow() callers serialised by tickMutex_).
+    TelemetrySnapshot buffers_[2];
+    mutable std::mutex bufMutex_[2];
+    std::atomic<std::uint64_t> seq_{0};
+    std::mutex tickMutex_;
+
+    // Rate/watermark memory between snapshots.
+    std::vector<std::pair<std::string, std::uint64_t>> prevCounters_;
+    std::uint64_t prevMonoNs_ = 0;
+    std::vector<std::pair<std::string, std::int64_t>> watermarks_;
+
+    TimeNs startedAt_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> dumpRequested_{false};
+    std::thread publisher_;
+    std::thread listener_;
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+    int listenFd_ = -1;
+    int boundPort_ = -1;
+};
+
+} // namespace preempt::obs
+
+#else // PREEMPT_OBS_DISABLED
+
+namespace preempt::obs {
+
+class MetricsRegistry; // never defined in disabled builds' callers
+
+/** Disabled stubs: callers compile, nothing runs, no symbols. */
+inline std::uint64_t
+registerTelemetrySampler(std::function<void(MetricsRegistry &)>)
+{
+    return 0;
+}
+
+inline void
+unregisterTelemetrySampler(std::uint64_t)
+{
+}
+
+} // namespace preempt::obs
+
+#endif // PREEMPT_OBS_DISABLED
+
+#endif // PREEMPT_OBS_TELEMETRY_HH

@@ -43,6 +43,7 @@ kindName(EventKind kind)
       case EventKind::FaultInject:         return "fault_inject";
       case EventKind::FaultRecover:        return "fault_recover";
       case EventKind::TaskMigrate:         return "task_migrate";
+      case EventKind::TaskSubmit:          return "task_submit";
       case EventKind::kCount:              break;
     }
     return "unknown";

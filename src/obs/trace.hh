@@ -71,8 +71,10 @@ enum class EventKind : std::uint16_t
 
     // runtimes (simulated LibPreemptible, baselines, real runtime)
     Dispatch = 11,          ///< request routed to a worker; a0 = worker
-    Launch = 12,            ///< fresh request starts; a0 = service ns
-    Resume = 13,            ///< preempted request resumes; a0 = remaining
+    Launch = 12,            ///< fresh request starts; a0 = service ns,
+                            ///< a1 = armed quantum ns (0 = none)
+    Resume = 13,            ///< preempted request resumes; a0 =
+                            ///< remaining, a1 = armed quantum ns
     Preempt = 14,           ///< quantum expired; a0 = executed ns,
                             ///< a1 = remaining ns
     Complete = 15,          ///< request finished; a0 = latency ns
@@ -91,6 +93,12 @@ enum class EventKind : std::uint16_t
     TaskMigrate = 21,       ///< task changed workers (steal or long-
                             ///< queue adoption); id = task,
                             ///< a0 = from worker, a1 = to worker
+
+    // task lifecycle spans (PR 8)
+    TaskSubmit = 22,        ///< task handed to the scheduler (sim:
+                            ///< arrival, real: submit call); id = task,
+                            ///< a0 = class, a1 = tenant. Span builders
+                            ///< measure end-to-end latency from here.
 
     kCount
 };

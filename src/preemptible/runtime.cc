@@ -6,6 +6,8 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/spans.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "preemptible/hosttime.hh"
 
@@ -15,6 +17,11 @@ namespace {
 
 /** Hard cap on a steal round so spoils fit a stack buffer. */
 constexpr std::size_t kMaxStealBatch = 64;
+
+/** Process-wide task id counter: colocated runtimes (one per tenant)
+ *  share one id space so a span collector keyed by (epoch, id) never
+ *  sees two tenants' tasks collide. */
+std::atomic<std::uint64_t> g_nextTaskId{0};
 
 } // namespace
 
@@ -57,6 +64,9 @@ PreemptibleRuntime::PreemptibleRuntime(Options options)
     for (int i = 0; i < options_.nWorkers; ++i)
         workers_[static_cast<std::size_t>(i)]->thread =
             std::thread([this, i] { workerMain(i); });
+
+    samplerId_ = obs::registerTelemetrySampler(
+        [this](obs::MetricsRegistry &r) { sampleTelemetry(r); });
 }
 
 PreemptibleRuntime::~PreemptibleRuntime()
@@ -85,8 +95,14 @@ PreemptibleRuntime::submitTo(int worker, std::function<void()> body,
     task->body = std::move(body);
     task->cls = cls;
     task->submitNs = hostNowNs();
-    task->id = nextTaskId_.fetch_add(1, std::memory_order_relaxed);
+    task->id = g_nextTaskId.fetch_add(1, std::memory_order_relaxed);
     task->owner = static_cast<std::uint32_t>(worker);
+    // Span anchor: end-to-end latency is measured from this record,
+    // so span total == the sojourn payload on Complete, exactly.
+    obs::emitSpan(obs::EventKind::TaskSubmit,
+                  static_cast<std::uint32_t>(worker), task->submitNs,
+                  task->id, static_cast<std::uint64_t>(cls),
+                  options_.tenant);
     if (deadlineIn != 0) {
         // Arm before publishing: once the task is in the inbox another
         // worker may complete it (and cancel the deadline) right away.
@@ -109,6 +125,10 @@ PreemptibleRuntime::submitTo(int worker, std::function<void()> body,
     }
     if (!pushed) {
         cancelDeadline(task.get()); // backpressure: revoke and reject
+        // Close the span opened by TaskSubmit above.
+        obs::emitSpan(obs::EventKind::CancelRequest,
+                      static_cast<std::uint32_t>(worker), hostNowNs(),
+                      task->id);
         return false;
     }
     task.release(); // ownership passed to the worker
@@ -212,10 +232,10 @@ PreemptibleRuntime::migrateTask(TaskRecord *task, int to)
         return;
     migrations_.fetch_add(1, std::memory_order_relaxed);
     obs::addCount("runtime.migrations");
-    obs::emit(obs::EventKind::TaskMigrate,
-              static_cast<std::uint32_t>(to), hostNowNs(), task->id,
-              static_cast<std::uint64_t>(from),
-              static_cast<std::uint64_t>(to));
+    obs::emitSpan(obs::EventKind::TaskMigrate,
+                  static_cast<std::uint32_t>(to), hostNowNs(), task->id,
+                  static_cast<std::uint64_t>(from),
+                  static_cast<std::uint64_t>(to));
     if (task->deadlineId != 0) {
         // Move the pending deadline to the adopting worker's shard.
         // cancel() false means the fire callback already ran (fully,
@@ -260,9 +280,10 @@ PreemptibleRuntime::dropTask(int worker, std::unique_ptr<TaskRecord> task)
     cancelDeadline(task.get());
     expiredDrops_.fetch_add(1, std::memory_order_relaxed);
     obs::addCount("runtime.expired_drops");
-    obs::emit(obs::EventKind::CancelRequest,
-              static_cast<std::uint32_t>(worker), hostNowNs(),
-              task->id, hostNowNs() - task->submitNs);
+    TimeNs now = hostNowNs();
+    obs::emitSpan(obs::EventKind::CancelRequest,
+                  static_cast<std::uint32_t>(worker), now, task->id,
+                  now - task->submitNs);
     inFlight_.fetch_sub(1, std::memory_order_release);
 }
 
@@ -323,28 +344,35 @@ PreemptibleRuntime::runTask(int worker, std::unique_ptr<TaskRecord> task)
     FnStatus status;
     TimeNs slice = quantum_.load(std::memory_order_relaxed);
     std::uint32_t track = static_cast<std::uint32_t>(worker);
+    WorkerState &w = *workers_[static_cast<std::size_t>(worker)];
     bool fresh = !task->fn;
     if (options_.dropExpired && fresh && deadlineHopeless(task.get())) {
         // SLO already hopeless: never launch (section III-B).
         dropTask(worker, std::move(task));
         return;
     }
-    obs::emit(fresh ? obs::EventKind::Launch : obs::EventKind::Resume,
-              track, hostNowNs(), task->id, slice);
+    // a1 = the armed quantum: span builders attribute segment time
+    // past it to timer-fire lag rather than running time.
+    obs::emitSpan(fresh ? obs::EventKind::Launch
+                        : obs::EventKind::Resume,
+                  track, hostNowNs(), task->id, 0, slice);
+    w.currentTask.store(static_cast<std::int64_t>(task->id),
+                        std::memory_order_relaxed);
     if (fresh) {
         task->fn = std::make_unique<PreemptibleFn>(task->body);
         status = fn_launch(*task->fn, slice);
     } else {
         status = fn_resume(*task->fn, slice);
     }
+    w.currentTask.store(-1, std::memory_order_relaxed);
 
     if (status == FnStatus::Completed) {
         cancelDeadline(task.get());
         task->finishNs = hostNowNs();
         TimeNs sojourn = task->finishNs - task->submitNs;
-        obs::emit(obs::EventKind::Complete, track, task->finishNs,
-                  task->id, sojourn,
-                  static_cast<std::uint64_t>(task->cls));
+        obs::emitSpan(obs::EventKind::Complete, track, task->finishNs,
+                      task->id, sojourn,
+                      static_cast<std::uint64_t>(task->cls));
         obs::recordTimerPerCore("runtime.sojourn_ns",
                                 static_cast<unsigned>(worker), sojourn);
         {
@@ -358,8 +386,10 @@ PreemptibleRuntime::runTask(int worker, std::unique_ptr<TaskRecord> task)
 
     // Preempted or yielded.
     preemptions_.fetch_add(1, std::memory_order_relaxed);
-    obs::emit(obs::EventKind::Preempt, track, hostNowNs(), task->id,
-              slice);
+    TimeNs preemptNs = hostNowNs();
+    w.lastPreemptNs.store(preemptNs, std::memory_order_relaxed);
+    obs::emitSpan(obs::EventKind::Preempt, track, preemptNs, task->id,
+                  slice);
     obs::addCount("runtime.preemptions");
     if (options_.dropExpired && deadlineHopeless(task.get())) {
         // Expired mid-run: release the stack instead of finishing.
@@ -387,6 +417,10 @@ PreemptibleRuntime::shutdown()
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true))
         return;
+    // Unregister first: returns only after any in-flight sampler pass
+    // finished, so teardown never races a telemetry read.
+    obs::unregisterTelemetrySampler(samplerId_);
+    samplerId_ = 0;
     for (auto &w : workers_) {
         if (w->thread.joinable())
             w->thread.join();
@@ -432,6 +466,67 @@ PreemptibleRuntime::longQueueLen() const
 {
     std::lock_guard<std::mutex> lock(longMutex_);
     return longQueue_.size();
+}
+
+void
+PreemptibleRuntime::sampleTelemetry(obs::MetricsRegistry &r)
+{
+    TimeNs now = hostNowNs();
+    std::string prefix = "runtime";
+    if (options_.tenant != 0)
+        prefix += "/t" + std::to_string(options_.tenant);
+
+    for (int i = 0; i < options_.nWorkers; ++i) {
+        WorkerState &w = *workers_[static_cast<std::size_t>(i)];
+        std::string suffix =
+            (options_.tenant != 0
+                 ? "/t" + std::to_string(options_.tenant) + ".w"
+                 : "/w") +
+            std::to_string(i);
+        r.gauge("runtime.worker.current_task" + suffix)
+            .set(w.currentTask.load(std::memory_order_relaxed));
+        r.gauge("runtime.worker.deque_depth" + suffix)
+            .set(static_cast<std::int64_t>(w.ready.size()));
+        r.gauge("runtime.worker.inbox_depth" + suffix)
+            .set(static_cast<std::int64_t>(w.inbox.size()));
+        r.gauge("runtime.worker.shard_depth" + suffix)
+            .set(static_cast<std::int64_t>(w.shard->depth()));
+        TimeNs lp = w.lastPreemptNs.load(std::memory_order_relaxed);
+        r.gauge("runtime.worker.last_preempt_age_ns" + suffix)
+            .set(lp != 0 && now > lp
+                     ? static_cast<std::int64_t>(now - lp)
+                     : -1);
+    }
+
+    r.gauge(prefix + ".long_queue.depth")
+        .set(static_cast<std::int64_t>(longQueueLen()));
+    r.gauge(prefix + ".quantum_ns")
+        .set(static_cast<std::int64_t>(quantum()));
+    r.gauge(prefix + ".in_flight")
+        .set(static_cast<std::int64_t>(
+            inFlight_.load(std::memory_order_relaxed)));
+    TimeNs lf = timer_.lastFireNs();
+    r.gauge(prefix + ".timer.last_fire_age_ns")
+        .set(lf != 0 && now > lf ? static_cast<std::int64_t>(now - lf)
+                                 : -1);
+
+    // Cumulative counts as true counters: each pass adds the delta
+    // since the last one (single publisher thread; no races).
+    auto bump = [&r](const std::string &name, std::uint64_t total,
+                     std::uint64_t &prev) {
+        if (total > prev)
+            r.counter(name).add(total - prev);
+        prev = total;
+    };
+    bump(prefix + ".submitted", submitted_.load(), publishedSubmitted_);
+    bump(prefix + ".completed", completed_.load(), publishedCompleted_);
+    bump(prefix + ".preempted", preemptions_.load(),
+         publishedPreemptions_);
+    bump(prefix + ".timer.fires", timer_.firesTotal(),
+         publishedTimerFires_);
+    bump(prefix + ".timer.wheel_fires", timer_.wheelFiresTotal(),
+         publishedWheelFires_);
+    bump(prefix + ".timer.scans", timer_.scans(), publishedScans_);
 }
 
 } // namespace preempt::runtime

@@ -48,6 +48,10 @@
 #include "preemptible/steal_deque.hh"
 #include "preemptible/utimer.hh"
 
+namespace preempt::obs {
+class MetricsRegistry;
+} // namespace preempt::obs
+
 namespace preempt::runtime {
 
 /** A unit of work submitted to the runtime. */
@@ -137,6 +141,14 @@ class PreemptibleRuntime
          * violated). Off by default.
          */
         bool dropExpired = false;
+
+        /**
+         * Tenant id stamped on every task's TaskSubmit trace record:
+         * colocated runtimes (one per tenant, as in
+         * bench/scalability_tenants) give each instance its own id so
+         * the span collector attributes scheduler delay per tenant.
+         */
+        std::uint32_t tenant = 0;
     };
 
     explicit PreemptibleRuntime(Options options);
@@ -220,6 +232,11 @@ class PreemptibleRuntime
         /** Deadline shard (advanced by the LibUtimer thread). */
         std::unique_ptr<WheelShard> shard;
 
+        // Live scheduler state published by the telemetry sampler:
+        // written by the owning worker, read from the publisher thread.
+        std::atomic<std::int64_t> currentTask{-1}; ///< task id, -1 idle
+        std::atomic<TimeNs> lastPreemptNs{0};      ///< last preempt time
+
         std::thread thread;
     };
 
@@ -245,6 +262,10 @@ class PreemptibleRuntime
     bool deadlineHopeless(const TaskRecord *task) const;
     void dropTask(int worker, std::unique_ptr<TaskRecord> task);
 
+    /** Telemetry sampler body: publish live per-worker scheduler
+     *  state into the publisher's registry (publisher thread). */
+    void sampleTelemetry(obs::MetricsRegistry &registry);
+
     Options options_;
     UTimer timer_;
     std::atomic<TimeNs> quantum_;
@@ -254,7 +275,6 @@ class PreemptibleRuntime
     std::atomic<std::uint64_t> preemptions_{0};
     std::atomic<std::uint64_t> inFlight_{0};
     std::atomic<std::uint64_t> rrNext_{0};
-    std::atomic<std::uint64_t> nextTaskId_{0};
     std::atomic<std::uint64_t> stealAttempts_{0};
     std::atomic<std::uint64_t> stealHits_{0};
     std::atomic<std::uint64_t> stealAborts_{0};
@@ -262,6 +282,18 @@ class PreemptibleRuntime
     std::atomic<std::uint64_t> deadlineFires_{0};
     std::atomic<std::uint64_t> expiredDrops_{0};
     TimeNs startedAt_;
+
+    /** Telemetry sampler registration (0 = none). */
+    std::uint64_t samplerId_ = 0;
+
+    // Cumulative values already pushed into sampler counters, so each
+    // sampler pass adds only the delta (publisher thread only).
+    std::uint64_t publishedSubmitted_ = 0;
+    std::uint64_t publishedCompleted_ = 0;
+    std::uint64_t publishedPreemptions_ = 0;
+    std::uint64_t publishedTimerFires_ = 0;
+    std::uint64_t publishedWheelFires_ = 0;
+    std::uint64_t publishedScans_ = 0;
 
     std::vector<std::unique_ptr<WorkerState>> workers_;
 

@@ -102,6 +102,7 @@ UTimer::timerLoop()
                 if (slot.deadline.compare_exchange_strong(dl, kTimeNever)) {
                     slot.fires.fetch_add(1, std::memory_order_relaxed);
                     firesTotal_.fetch_add(1, std::memory_order_relaxed);
+                    lastFireNs_.store(now, std::memory_order_relaxed);
                     // a0 = lateness of the scan past the deadline; the
                     // slot index stands in for the target thread.
                     obs::emit(obs::EventKind::TimerFire,

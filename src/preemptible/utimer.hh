@@ -261,6 +261,13 @@ class UTimer
     /** Total preemption notifications delivered. */
     std::uint64_t firesTotal() const { return firesTotal_.load(); }
 
+    /** CLOCK_MONOTONIC ns of the most recent preemption delivery
+     *  (0 = none yet); telemetry derives last-fire age from this. */
+    TimeNs lastFireNs() const
+    {
+        return lastFireNs_.load(std::memory_order_relaxed);
+    }
+
     /** Scan passes executed (for poll-rate diagnostics). */
     std::uint64_t scans() const { return scans_.load(); }
 
@@ -279,6 +286,7 @@ class UTimer
     std::atomic<std::uint64_t> firesTotal_{0};
     std::atomic<std::uint64_t> wheelFiresTotal_{0};
     std::atomic<std::uint64_t> scans_{0};
+    std::atomic<TimeNs> lastFireNs_{0};
     bool usingUintr_ = false;
 
     /** Registered wheel shards; the timer thread iterates under the

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "fault/fault.hh"
 #include "obs/metrics.hh"
+#include "obs/spans.hh"
 #include "obs/trace.hh"
 
 namespace preempt::runtime_sim {
@@ -79,6 +80,10 @@ LibPreemptibleSim::onArrival(Request &req)
     metrics_.onArrival(req);
     ++admitted_;
     TimeNs now = sim_.now();
+    // Span anchor at the arrival instant: span total == req.latency()
+    // exactly (both measure completion - arrival on the sim clock).
+    obs::emitSpan(obs::EventKind::TaskSubmit, 0, now, req.id,
+                  static_cast<std::uint64_t>(req.cls), config_.tenant);
     // The dispatcher is a single network thread: arrivals serialize
     // behind its per-request handling cost.
     TimeNs start = std::max(now, dispatcherFreeAt_);
@@ -93,8 +98,8 @@ LibPreemptibleSim::enqueue(Request &req, TimeNs now)
 {
     req.readyAt = now;
     // a0 = instantaneous dispatcher backlog (requests not yet running).
-    obs::emit(obs::EventKind::Dispatch, 0, now, req.id,
-              admitted_ - finished_);
+    obs::emitSpan(obs::EventKind::Dispatch, 0, now, req.id,
+                  admitted_ - finished_);
     if (config_.centralQueue) {
         central_.pushBack(&req);
         for (auto &w : workers_) {
@@ -214,9 +219,9 @@ LibPreemptibleSim::pickNext(Worker &w, TimeNs now)
         while (req != nullptr &&
                now - req->arrival > config_.requestDeadline) {
             ++finished_;
-            obs::emit(obs::EventKind::CancelRequest,
-                      static_cast<std::uint32_t>(w.id + 1), now, req->id,
-                      now - req->arrival);
+            obs::emitSpan(obs::EventKind::CancelRequest,
+                          static_cast<std::uint32_t>(w.id + 1), now,
+                          req->id, now - req->arrival);
             obs::addCount("libpreemptible.cancellations");
             metrics_.onCancellation(*req);
             req = nullptr;
@@ -249,9 +254,9 @@ LibPreemptibleSim::startSegment(Worker &w, Request &req, TimeNs now,
         ++w.launches;
     else
         ++w.resumes;
-    obs::emit(fresh ? obs::EventKind::Launch : obs::EventKind::Resume,
-              static_cast<std::uint32_t>(w.id + 1), now, req.id,
-              req.remaining, quantum_);
+    obs::emitSpan(fresh ? obs::EventKind::Launch : obs::EventKind::Resume,
+                  static_cast<std::uint32_t>(w.id + 1), now, req.id,
+                  req.remaining, quantum_);
 
     // fn_launch allocates a context from the free list; fn_resume just
     // switches to the saved one. Both pay the user context switch and
@@ -367,9 +372,10 @@ LibPreemptibleSim::onCompletion(Worker &w, TimeNs now)
     ++finished_;
     ++freeContexts_; // context returns to the global free list
 
-    obs::emit(obs::EventKind::Complete,
-              static_cast<std::uint32_t>(w.id + 1), now, req->id,
-              req->latency(), req->preemptions);
+    obs::emitSpan(obs::EventKind::Complete,
+                  static_cast<std::uint32_t>(w.id + 1), now, req->id,
+                  req->latency(),
+                  static_cast<std::uint64_t>(req->preemptions));
     obs::recordTimerPerCore("libpreemptible.latency_ns",
                             static_cast<unsigned>(w.id + 1),
                             req->latency());
@@ -426,9 +432,9 @@ LibPreemptibleSim::onPreemption(Worker &w, TimeNs now,
              "preempted a request that should have completed");
     req->remaining -= executed;
     ++req->preemptions;
-    obs::emit(obs::EventKind::Preempt,
-              static_cast<std::uint32_t>(w.id + 1), now, req->id,
-              executed, req->remaining);
+    obs::emitSpan(obs::EventKind::Preempt,
+                  static_cast<std::uint32_t>(w.id + 1), now, req->id,
+                  executed, req->remaining);
     obs::addCount("libpreemptible.preemptions");
     metrics_.addExecution(executed);
     metrics_.addPreemptionOverhead(worker_overhead);

@@ -102,6 +102,11 @@ struct LibPreemptibleConfig
      *  The central queue serialises on a lock. */
     bool centralQueue = false;
 
+    /** Tenant id stamped on TaskSubmit trace records, so span
+     *  builders attribute per-tenant scheduler delay when several
+     *  sim instances share one trace (bench/scalability_tenants). */
+    std::uint32_t tenant = 0;
+
     /** Optional per-completion hook (time-series benches). */
     std::function<void(TimeNs, const workload::Request &)> completionHook;
 

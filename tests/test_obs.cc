@@ -174,6 +174,7 @@ TEST(TraceGolden, KindCatalogValuesAndNamesAreStable)
         {EventKind::FaultInject, "fault_inject"},
         {EventKind::FaultRecover, "fault_recover"},
         {EventKind::TaskMigrate, "task_migrate"},
+        {EventKind::TaskSubmit, "task_submit"},
     };
     std::uint16_t expected = 0;
     for (const auto &[kind, name] : kCatalog) {
@@ -210,7 +211,9 @@ TEST(TraceGolden, ExporterOutputForTinyTrace)
               "  {\"name\": \"launch\", \"ph\": \"i\", \"s\": \"t\","
               " \"pid\": 0, \"tid\": 1, \"ts\": 2.001,"
               " \"args\": {\"id\": 7, \"a0\": 0, \"a1\": 0}}\n"
-              "]}\n");
+              "], \"metadata\": {\"records\": 2,"
+              " \"dropped_overwritten\": 0,"
+              " \"dropped_out_of_range\": 0}}\n");
     std::string err;
     EXPECT_TRUE(obs::validateJson(os.str(), &err)) << err;
 }

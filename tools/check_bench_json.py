@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Validate a freshly generated BENCH_*.json against the checked-in
-reference of the same bench.
+"""Validate generated JSON artifacts.
 
-The reference file acts as the schema: the generated file must contain
-exactly the same keys with the same JSON shapes (objects, arrays,
-numbers, strings). Every number must be finite, and any field that
-names a ratio (speedup, *_ratio) must be strictly positive — a NaN or
-zero there means the bench silently divided by a failed measurement.
+Default mode compares a freshly generated BENCH_*.json against the
+checked-in reference of the same bench. The reference file acts as the
+schema: the generated file must contain exactly the same keys with the
+same JSON shapes (objects, arrays, numbers, strings). Every number
+must be finite, and any field that names a ratio (speedup, *_ratio)
+must be strictly positive — a NaN or zero there means the bench
+silently divided by a failed measurement.
+
+Two schema-pinned modes validate the live-telemetry artifacts:
+
+  --telemetry FILE   a TelemetryPublisher snapshot dump / HTTP
+                     /metrics.json body (schema "preempt.telemetry.v1")
+  --spans FILE       a tools/span_tool --json export
+                     (schema "preempt.spans.v1")
 
 Usage: check_bench_json.py GENERATED REFERENCE
+       check_bench_json.py --telemetry FILE
+       check_bench_json.py --spans FILE
 """
 
 import json
@@ -66,7 +76,120 @@ def check(gen, ref, path="", key=""):
         fail(path, f"unhandled reference type {type(ref).__name__}")
 
 
+def expect(obj, path, keys_types):
+    """Require obj to be a dict carrying exactly typed keys."""
+    if not isinstance(obj, dict):
+        fail(path, f"expected object, got {type(obj).__name__}")
+    for k, types in keys_types.items():
+        if k not in obj:
+            fail(path, f"missing key '{k}'")
+        v = obj[k]
+        if isinstance(v, bool) or not isinstance(v, types):
+            fail(f"{path}.{k}",
+                 f"expected {types}, got {type(v).__name__}")
+        if isinstance(v, (int, float)) and not math.isfinite(v):
+            fail(f"{path}.{k}", f"non-finite number {v}")
+
+
+QUANTILES = {"count": int, "min": (int, float), "max": (int, float),
+             "mean": (int, float), "p50": (int, float),
+             "p90": (int, float), "p99": (int, float),
+             "p999": (int, float)}
+
+
+def check_quantiles(obj, path):
+    expect(obj, path, QUANTILES)
+    if obj["count"] > 0 and obj["min"] > obj["max"]:
+        fail(path, f"min {obj['min']} > max {obj['max']}")
+
+
+def check_telemetry(path):
+    with open(path) as f:
+        snap = json.load(f)
+    expect(snap, "", {
+        "schema": str, "seq": int, "wall_ns": int, "mono_ns": int,
+        "uptime_sec": (int, float), "interval_sec": (int, float),
+        "checksum": str, "counters": dict, "gauges": dict,
+        "timers": dict, "spans": dict,
+    })
+    if snap["schema"] != "preempt.telemetry.v1":
+        fail("schema", f"expected preempt.telemetry.v1, "
+                       f"got '{snap['schema']}'")
+    if snap["seq"] < 1:
+        fail("seq", "snapshot was never published (seq < 1)")
+    try:
+        int(snap["checksum"], 16)
+    except ValueError:
+        fail("checksum", f"not a hex string: '{snap['checksum']}'")
+    for name, c in snap["counters"].items():
+        expect(c, f"counters.{name}",
+               {"value": int, "rate_per_sec": (int, float)})
+        if c["value"] < 0:
+            fail(f"counters.{name}.value", "counter went negative")
+    for name, g in snap["gauges"].items():
+        expect(g, f"gauges.{name}", {"value": int, "watermark": int})
+    for name, t in snap["timers"].items():
+        check_quantiles(t, f"timers.{name}")
+    spans = snap["spans"]
+    expect(spans, "spans", {"invariant_violations": int,
+                            "anomalies": int, "tenants": dict})
+    for tenant, t in spans["tenants"].items():
+        tpath = f"spans.tenants.{tenant}"
+        expect(t, tpath, {"completed": int, "cancelled": int,
+                          "violations": int})
+        for part in ("queued", "running", "preempted", "timer_lag",
+                     "total"):
+            if part not in t:
+                fail(tpath, f"missing breakdown '{part}'")
+            check_quantiles(t[part], f"{tpath}.{part}")
+    print(f"{path}: telemetry snapshot OK (seq={snap['seq']}, "
+          f"{len(snap['counters'])} counters, "
+          f"{len(snap['gauges'])} gauges, "
+          f"{len(snap['timers'])} timers, "
+          f"{len(spans['tenants'])} tenants)")
+
+
+def check_spans(path):
+    with open(path) as f:
+        doc = json.load(f)
+    expect(doc, "", {"schema": str, "spans": int,
+                     "invariant_violations": int, "slo_violations": int,
+                     "anomalies": dict, "tenants": dict})
+    if doc["schema"] != "preempt.spans.v1":
+        fail("schema",
+             f"expected preempt.spans.v1, got '{doc['schema']}'")
+    expect(doc["anomalies"], "anomalies",
+           {"orphan_events": int, "clamped_times": int,
+            "reopened_tasks": int, "dangling_spans": int})
+    if doc["invariant_violations"] != 0:
+        fail("invariant_violations",
+             f"{doc['invariant_violations']} spans failed "
+             "queued+running+preempted+timer_lag == latency")
+    total = 0
+    for tenant, t in doc["tenants"].items():
+        tpath = f"tenants.{tenant}"
+        expect(t, tpath, {"completed": int, "cancelled": int,
+                          "violations": int})
+        for part in ("queued", "running", "preempted", "timer_lag",
+                     "total"):
+            if part not in t:
+                fail(tpath, f"missing breakdown '{part}'")
+            check_quantiles(t[part], f"{tpath}.{part}")
+        total += t["completed"] + t["cancelled"]
+    if total != doc["spans"]:
+        fail("tenants", f"per-tenant spans sum to {total}, "
+                        f"top-level says {doc['spans']}")
+    print(f"{path}: span export OK ({doc['spans']} spans, "
+          f"{len(doc['tenants'])} tenants, 0 invariant violations)")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--telemetry":
+        check_telemetry(sys.argv[2])
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--spans":
+        check_spans(sys.argv[2])
+        return
     if len(sys.argv) != 3:
         raise SystemExit(__doc__)
     generated, reference = sys.argv[1], sys.argv[2]
