@@ -16,6 +16,10 @@
  *   span_live  obs::emitSpan() lifecycle triplets folding into an
  *              installed SpanCollector — what the per-task lifecycle
  *              sites (submit/launch/complete) pay when spans are live.
+ *   window_rotate_aggregate
+ *              one WindowedLatencyHistogram rotate() + aggregate()
+ *              pair (K = 8) — what the publisher tick pays per
+ *              windowed metric, amortised over zero record-path cost.
  *
  * Emits BENCH_trace.json (ns per operation, best of reps) so later PRs
  * can regress the overhead claims in DESIGN.md section 8.
@@ -28,6 +32,7 @@
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/windowed_histogram.hh"
 #include "obs/metrics.hh"
 #include "obs/session.hh"
 #include "obs/spans.hh"
@@ -161,6 +166,35 @@ runSpanLive(int ops)
 #endif
 }
 
+/** ns per publisher-tick window maintenance step: rotate the K = 8
+ *  epoch ring and rebuild the O(K) aggregate of a populated windowed
+ *  histogram. Runs entirely off the record path. */
+double
+runWindowRotateAggregate(int ops)
+{
+    // Rotation + aggregation cost is independent of the record count;
+    // populate the ring so every epoch merge walks real buckets.
+    WindowedLatencyHistogram w(8);
+    for (int i = 0; i < 4096; ++i) {
+        w.record(static_cast<std::uint64_t>(100 + i * 37));
+        if ((i & 511) == 511)
+            w.rotate();
+    }
+    int steps = ops / 4096;
+    if (steps < 1)
+        steps = 1;
+    std::uint64_t sink = 0;
+    TimeNs t0 = runtime::hostNowNs();
+    for (int i = 0; i < steps; ++i) {
+        w.rotate();
+        w.record(static_cast<std::uint64_t>(100 + i));
+        sink += w.aggregate().count();
+    }
+    TimeNs t1 = runtime::hostNowNs();
+    panic_if(sink == 0, "window aggregate lost all samples");
+    return static_cast<double>(t1 - t0) / steps;
+}
+
 } // namespace
 
 int
@@ -174,13 +208,14 @@ main(int argc, char **argv)
     cli.rejectUnknown();
 
     double disabled = 1e9, enabled = 1e9, counter = 1e9;
-    double publisher = 1e9, spanLive = 1e9;
+    double publisher = 1e9, spanLive = 1e9, windowTick = 1e9;
     for (int r = 0; r < reps; ++r) {
         disabled = std::min(disabled, runDisabled(ops));
         enabled = std::min(enabled, runEnabled(ops));
         counter = std::min(counter, runCounter(ops));
         publisher = std::min(publisher, runWithPublisher(ops));
         spanLive = std::min(spanLive, runSpanLive(ops));
+        windowTick = std::min(windowTick, runWindowRotateAggregate(ops));
     }
 
     ConsoleTable table("obs:: emission cost (ns/op, best of " +
@@ -196,6 +231,7 @@ main(int argc, char **argv)
     row("counter add", counter);
     row("emit + live publisher", publisher);
     row("emitSpan live fold", spanLive);
+    row("window rotate+aggregate", windowTick);
     table.print();
     if (enabled > 0) {
         std::printf("publisher overhead vs enabled: %+.2f%%\n",
@@ -213,7 +249,8 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"emit_enabled\": %.3f,\n", enabled);
     std::fprintf(f, "  \"counter_add\": %.3f,\n", counter);
     std::fprintf(f, "  \"emit_publisher\": %.3f,\n", publisher);
-    std::fprintf(f, "  \"emitspan_live\": %.3f\n", spanLive);
+    std::fprintf(f, "  \"emitspan_live\": %.3f,\n", spanLive);
+    std::fprintf(f, "  \"window_rotate_aggregate\": %.3f\n", windowTick);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", out.c_str());

@@ -11,7 +11,7 @@ namespace preempt {
 
 LatencyHistogram::LatencyHistogram()
     : buckets_(kBuckets, 0), count_(0), min_(~0ULL), max_(0), sum_(0),
-      sumSq_(0)
+      m2_(0)
 {
 }
 
@@ -58,12 +58,21 @@ LatencyHistogram::record(std::uint64_t value, std::uint64_t times)
     int b = bucketFor(value);
     panic_if(b < 0 || b >= kBuckets, "histogram bucket out of range");
     buckets_[static_cast<std::size_t>(b)] += times;
+    double v = static_cast<double>(value);
+    double n = static_cast<double>(count_);
+    double k = static_cast<double>(times);
+    // Chan's update for a batch of `times` equal values: centered,
+    // so tight clusters of large values keep their variance instead
+    // of cancelling (sumSq/n - mean^2 loses every significant digit
+    // for 1e15-scale ns values with unit-scale spread).
+    if (count_ != 0) {
+        double delta = v - sum_ / n;
+        m2_ += delta * delta * n * k / (n + k);
+    }
     count_ += times;
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
-    double v = static_cast<double>(value);
-    sum_ += v * static_cast<double>(times);
-    sumSq_ += v * v * static_cast<double>(times);
+    sum_ += v * k;
 }
 
 double
@@ -77,8 +86,7 @@ LatencyHistogram::stddev() const
 {
     if (count_ == 0)
         return 0.0;
-    double m = mean();
-    double var = sumSq_ / static_cast<double>(count_) - m * m;
+    double var = m2_ / static_cast<double>(count_);
     return var > 0 ? std::sqrt(var) : 0.0;
 }
 
@@ -127,13 +135,23 @@ LatencyHistogram::merge(const LatencyHistogram &other)
     for (int b = 0; b < kBuckets; ++b)
         buckets_[static_cast<std::size_t>(b)] +=
             other.buckets_[static_cast<std::size_t>(b)];
-    count_ += other.count_;
     if (other.count_) {
         min_ = std::min(min_, other.min_);
         max_ = std::max(max_, other.max_);
     }
+    // Chan's parallel combination of the centered moments: exact for
+    // the merged population (merging equals one big recording up to
+    // rounding), no cancellation.
+    if (count_ == 0) {
+        m2_ = other.m2_;
+    } else if (other.count_ != 0) {
+        double na = static_cast<double>(count_);
+        double nb = static_cast<double>(other.count_);
+        double delta = other.sum_ / nb - sum_ / na;
+        m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    }
+    count_ += other.count_;
     sum_ += other.sum_;
-    sumSq_ += other.sumSq_;
 }
 
 void
@@ -144,7 +162,7 @@ LatencyHistogram::reset()
     min_ = ~0ULL;
     max_ = 0;
     sum_ = 0;
-    sumSq_ = 0;
+    m2_ = 0;
 }
 
 std::string

@@ -2,10 +2,11 @@
  * @file
  * HDR-style logarithmic-bucket histogram for latency recording.
  *
- * Values are bucketed with bounded relative error (16 effective
- * sub-buckets per octave keep the relative quantile error under ~6%),
- * which is the standard approach for tail-latency measurement when
- * millions of samples must be recorded cheaply.
+ * Values are bucketed with bounded relative error (32 effective
+ * sub-buckets per octave keep the relative quantile error under ~3%;
+ * tests/test_histogram.cc measures the real bound), which is the
+ * standard approach for tail-latency measurement when millions of
+ * samples must be recorded cheaply.
  */
 
 #ifndef PREEMPT_COMMON_HISTOGRAM_HH
@@ -38,10 +39,14 @@ class LatencyHistogram
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return count_ ? max_ : 0; }
 
-    /** Arithmetic mean of recorded values (bucket-midpoint based). */
+    /** Arithmetic mean of the exact recorded values (not the bucket
+     *  midpoints: record() keeps an exact running sum). */
     double mean() const;
 
-    /** Standard deviation (bucket-midpoint based). */
+    /** Standard deviation of the exact recorded values, maintained
+     *  with Welford's centered-moment recurrence — the naive
+     *  sumSq/n - mean^2 form cancels catastrophically for ns-scale
+     *  values with small variance. */
     double stddev() const;
 
     /**
@@ -83,7 +88,7 @@ class LatencyHistogram
     std::uint64_t min_;
     std::uint64_t max_;
     double sum_;
-    double sumSq_;
+    double m2_; ///< centered second moment (Welford / Chan merge)
 };
 
 } // namespace preempt

@@ -1,0 +1,94 @@
+#include "common/windowed_histogram.hh"
+
+#include <algorithm>
+
+namespace preempt {
+
+WindowedLatencyHistogram::WindowedLatencyHistogram(std::size_t epochs)
+    : ring_(std::max<std::size_t>(epochs, 1))
+{
+}
+
+void
+WindowedLatencyHistogram::record(std::uint64_t value,
+                                 std::uint64_t times)
+{
+    ring_[head_].record(value, times);
+}
+
+void
+WindowedLatencyHistogram::merge(const LatencyHistogram &other)
+{
+    ring_[head_].merge(other);
+}
+
+void
+WindowedLatencyHistogram::rotate()
+{
+    head_ = (head_ + 1) % ring_.size();
+    ring_[head_].reset();
+    ++rotations_;
+}
+
+LatencyHistogram
+WindowedLatencyHistogram::aggregate() const
+{
+    LatencyHistogram out;
+    for (const LatencyHistogram &h : ring_)
+        out.merge(h);
+    return out;
+}
+
+void
+WindowedLatencyHistogram::resize(std::size_t epochs)
+{
+    ring_.assign(std::max<std::size_t>(epochs, 1), LatencyHistogram());
+    head_ = 0;
+    rotations_ = 0;
+}
+
+void
+WindowedLatencyHistogram::reset()
+{
+    for (LatencyHistogram &h : ring_)
+        h.reset();
+    head_ = 0;
+    rotations_ = 0;
+}
+
+WindowedCounter::WindowedCounter(std::size_t epochs)
+    : ring_(std::max<std::size_t>(epochs, 1), 0)
+{
+}
+
+void
+WindowedCounter::rotate()
+{
+    head_ = (head_ + 1) % ring_.size();
+    ring_[head_] = 0;
+}
+
+std::uint64_t
+WindowedCounter::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : ring_)
+        sum += v;
+    return sum;
+}
+
+void
+WindowedCounter::resize(std::size_t epochs)
+{
+    ring_.assign(std::max<std::size_t>(epochs, 1), 0);
+    head_ = 0;
+}
+
+void
+WindowedCounter::reset()
+{
+    std::fill(ring_.begin(), ring_.end(), 0);
+    head_ = 0;
+}
+
+} // namespace preempt

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Sliding-window companions for lifetime statistics.
+ *
+ * A WindowedLatencyHistogram is a ring of K epoch sub-histograms: all
+ * recording lands in the live epoch, rotate() retires the live epoch
+ * and recycles the oldest, and aggregate() merges the K retained
+ * epochs into one LatencyHistogram covering only the last K epochs of
+ * traffic. With rotation driven by telemetry publisher ticks every
+ * --stats-interval, the aggregate is a quantile view of roughly the
+ * last K * interval seconds — recent traffic, not process lifetime.
+ *
+ * Determinism rule: nothing in this file reads a clock. Rotation
+ * happens only when the owner calls rotate() (the publisher tick), so
+ * recording threads observe no wall-clock-dependent state and
+ * same-seed simulator runs stay byte-identical with windows enabled.
+ *
+ * Memory is O(K) per windowed metric — K fixed-size bucket arrays —
+ * regardless of run length or sample count (tests/test_windowed.cc
+ * pins this).
+ */
+
+#ifndef PREEMPT_COMMON_WINDOWED_HISTOGRAM_HH
+#define PREEMPT_COMMON_WINDOWED_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hh"
+
+namespace preempt {
+
+/** Ring of K epoch histograms; aggregate() = the last K epochs. */
+class WindowedLatencyHistogram
+{
+  public:
+    static constexpr std::size_t kDefaultEpochs = 8;
+
+    /** @param epochs ring size K (clamped to >= 1). */
+    explicit WindowedLatencyHistogram(
+        std::size_t epochs = kDefaultEpochs);
+
+    /** Record into the live epoch. */
+    void record(std::uint64_t value, std::uint64_t times = 1);
+
+    /** Fold a whole histogram into the live epoch (absorb paths). */
+    void merge(const LatencyHistogram &other);
+
+    /**
+     * Retire the live epoch: the oldest retained epoch is cleared and
+     * becomes the new live one. Called once per publisher tick, never
+     * from recording threads or accessors.
+     */
+    void rotate();
+
+    /** O(K) merge of every retained epoch (including the live one). */
+    LatencyHistogram aggregate() const;
+
+    /** Ring size K. Fixed after construction / resize(). */
+    std::size_t epochs() const { return ring_.size(); }
+
+    /** rotate() calls so far (epoch id of the live slot). */
+    std::uint64_t rotations() const { return rotations_; }
+
+    /** Change K; discards all retained samples. */
+    void resize(std::size_t epochs);
+
+    /** Clear every epoch, keep K. */
+    void reset();
+
+  private:
+    std::vector<LatencyHistogram> ring_;
+    std::size_t head_ = 0; ///< index of the live epoch
+    std::uint64_t rotations_ = 0;
+};
+
+/** Ring of K epoch counts; total() = events in the last K epochs. */
+class WindowedCounter
+{
+  public:
+    explicit WindowedCounter(
+        std::size_t epochs = WindowedLatencyHistogram::kDefaultEpochs);
+
+    void add(std::uint64_t n = 1) { ring_[head_] += n; }
+    void rotate();
+    std::uint64_t total() const;
+    std::size_t epochs() const { return ring_.size(); }
+    void resize(std::size_t epochs);
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> ring_;
+    std::size_t head_ = 0;
+};
+
+} // namespace preempt
+
+#endif // PREEMPT_COMMON_WINDOWED_HISTOGRAM_HH

@@ -83,8 +83,11 @@ MetricsRegistry::timer(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = timers_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<TimerMetric>();
+        if (windowEpochs_ != 0)
+            slot->enableWindow(windowEpochs_);
+    }
     return *slot;
 }
 
@@ -150,8 +153,15 @@ MetricsRegistry::snapshotValues() const
     for (const auto &[name, g] : gauges_)
         out.gauges.emplace_back(name, g->value());
     out.timers.reserve(timers_.size());
-    for (const auto &[name, t] : timers_)
-        out.timers.emplace_back(name, t->histogram());
+    for (const auto &[name, t] : timers_) {
+        MetricsSnapshot::TimerValues v;
+        v.name = name;
+        v.hist = t->histogram();
+        v.windowed = t->windowed();
+        if (v.windowed)
+            v.window = t->windowHistogram();
+        out.timers.push_back(std::move(v));
+    }
     return out;
 }
 
@@ -173,10 +183,40 @@ MetricsRegistry::absorb(const MetricsRegistry &donor)
     }
     for (const auto &[name, t] : donor.timers_) {
         auto &slot = timers_[name];
-        if (!slot)
+        if (!slot) {
             slot = std::make_unique<TimerMetric>();
+            // Absorbed samples are freshly completed work: they fold
+            // into the live window epoch like direct records would.
+            if (windowEpochs_ != 0)
+                slot->enableWindow(windowEpochs_);
+        }
         slot->merge(t->histogram());
     }
+}
+
+void
+MetricsRegistry::enableWindows(std::size_t epochs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    windowEpochs_ = epochs;
+    if (epochs != 0)
+        for (const auto &[name, t] : timers_)
+            t->enableWindow(epochs);
+}
+
+void
+MetricsRegistry::rotateWindows()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, t] : timers_)
+        t->rotateWindow();
+}
+
+std::size_t
+MetricsRegistry::windowEpochs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return windowEpochs_;
 }
 
 MetricsRegistry *

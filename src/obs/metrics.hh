@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/histogram.hh"
+#include "common/windowed_histogram.hh"
 
 namespace preempt::obs {
 
@@ -68,7 +69,15 @@ class Gauge
     std::atomic<std::int64_t> value_{0};
 };
 
-/** Latency-histogram-backed timer (values in nanoseconds). */
+/**
+ * Latency-histogram-backed timer (values in nanoseconds).
+ *
+ * The lifetime histogram only accumulates. When windowing is enabled
+ * (the telemetry publisher does so for its registry), every record()
+ * also lands in a sliding-window companion whose epochs the publisher
+ * rotates each tick, so windowHistogram() quantiles reflect only the
+ * last W seconds of traffic.
+ */
 class TimerMetric
 {
   public:
@@ -77,6 +86,8 @@ class TimerMetric
     {
         std::lock_guard<std::mutex> lock(mutex_);
         hist_.record(ns);
+        if (window_)
+            window_->record(ns);
     }
 
     /** Fold another histogram in (cell-capture merging). */
@@ -85,6 +96,8 @@ class TimerMetric
     {
         std::lock_guard<std::mutex> lock(mutex_);
         hist_.merge(other);
+        if (window_)
+            window_->merge(other);
     }
 
     /** Copy of the underlying histogram. */
@@ -95,17 +108,62 @@ class TimerMetric
         return hist_;
     }
 
+    /** Allocate (or resize, discarding samples) the K-epoch window. */
+    void
+    enableWindow(std::size_t epochs)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!window_)
+            window_ =
+                std::make_unique<WindowedLatencyHistogram>(epochs);
+        else if (window_->epochs() != epochs)
+            window_->resize(epochs);
+    }
+
+    bool
+    windowed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return window_ != nullptr;
+    }
+
+    /** Publisher tick: retire the live epoch. No-op when disabled. */
+    void
+    rotateWindow()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (window_)
+            window_->rotate();
+    }
+
+    /** Aggregate over the retained epochs (empty when disabled). */
+    LatencyHistogram
+    windowHistogram() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return window_ ? window_->aggregate() : LatencyHistogram();
+    }
+
   private:
     mutable std::mutex mutex_;
     LatencyHistogram hist_;
+    std::unique_ptr<WindowedLatencyHistogram> window_;
 };
 
 /** Value dump of a whole registry (telemetry snapshotting). */
 struct MetricsSnapshot
 {
+    struct TimerValues
+    {
+        std::string name;
+        LatencyHistogram hist;   ///< lifetime
+        LatencyHistogram window; ///< last-W aggregate (empty if off)
+        bool windowed = false;
+    };
+
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::int64_t>> gauges;
-    std::vector<std::pair<std::string, LatencyHistogram>> timers;
+    std::vector<TimerValues> timers;
 };
 
 /** The registry. Creation-by-name is thread-safe. */
@@ -148,11 +206,27 @@ class MetricsRegistry
      */
     void absorb(const MetricsRegistry &donor);
 
+    /**
+     * Switch every timer (existing and future) to keep a K-epoch
+     * sliding-window companion. Called once by the telemetry
+     * publisher; 0 disables for future timers (existing windows are
+     * kept). Rotation stays with rotateWindows() — enabling windows
+     * alone never changes recorded values or the JSON dump.
+     */
+    void enableWindows(std::size_t epochs);
+
+    /** Publisher tick: rotate every windowed timer's epochs. */
+    void rotateWindows();
+
+    /** Configured window ring size (0 = windowing off). */
+    std::size_t windowEpochs() const;
+
   private:
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
+    std::size_t windowEpochs_ = 0;
 };
 
 /**

@@ -22,8 +22,9 @@ Session::Session(CommandLine &cli, Options options)
     std::int64_t statsPort = cli.getInt("stats-port", -1);
     statsDump_ = cli.getString("stats-dump", "");
     std::int64_t statsSloUs = cli.getInt("stats-slo-us", 0);
-    bool wantTelemetry =
-        statsIntervalMs > 0 || statsPort >= 0 || !statsDump_.empty();
+    std::int64_t statsWindowSec = cli.getInt("stats-window", 0);
+    bool wantTelemetry = statsIntervalMs > 0 || statsPort >= 0 ||
+                         !statsDump_.empty() || statsWindowSec > 0;
 
     if (!traceOut_.empty()) {
         tracer_ = std::make_unique<Tracer>(options.tracer);
@@ -49,6 +50,8 @@ Session::Session(CommandLine &cli, Options options)
                                            ? statsIntervalMs
                                            : 1000));
         topt.port = static_cast<int>(statsPort);
+        if (statsWindowSec > 0)
+            topt.window = secToNs(static_cast<double>(statsWindowSec));
         topt.dumpPath = statsDump_;
         topt.installSigusr2 = !statsDump_.empty();
         publisher_ = std::make_unique<TelemetryPublisher>(
@@ -63,6 +66,7 @@ Session::Session(CommandLine &cli, Options options)
         warn_once("--stats-* flags ignored: built with "
                   "-DPREEMPT_OBS=OFF");
     (void)statsSloUs;
+    (void)statsWindowSec;
 #endif
 }
 

@@ -21,7 +21,10 @@
  *                         (0 = ephemeral port)
  *   --stats-dump=PATH     SIGUSR2 / exit writes the JSON snapshot here
  *   --stats-slo-us=N      count span totals above N us as violations
- * Any of the first three switches the telemetry plane on: the session
+ *   --stats-window=SEC    sliding-window span for the `*_window`
+ *                         series (default 10 publish intervals)
+ * Any of those switches except --stats-slo-us turns the telemetry
+ * plane on: the session
  * then also installs a live SpanCollector (per-tenant scheduler-delay
  * attribution) and starts a TelemetryPublisher over the registry (one
  * is created even without --metrics-out). Under -DPREEMPT_OBS=OFF the

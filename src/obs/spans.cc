@@ -216,6 +216,13 @@ SpanCollector::finishSpan(Shard &shard, OpenSpan &open, std::uint64_t ts,
 
     std::lock_guard<std::mutex> lock(aggMutex_);
     TenantStats &t = tenants_[span.tenant];
+    TenantWindow *w = nullptr;
+    if (options_.windowEpochs != 0)
+        w = &windows_
+                 .try_emplace(span.tenant, options_.windowEpochs)
+                 .first->second;
+    bool violated =
+        options_.sloNs != 0 && span.latencyNs() > options_.sloNs;
     if (completed) {
         ++t.completed;
         t.queued.record(span.breakdown.queuedNs);
@@ -223,10 +230,21 @@ SpanCollector::finishSpan(Shard &shard, OpenSpan &open, std::uint64_t ts,
         t.preempted.record(span.breakdown.preemptedNs);
         t.timerLag.record(span.breakdown.timerLagNs);
         t.total.record(span.latencyNs());
-        if (options_.sloNs != 0 && span.latencyNs() > options_.sloNs)
+        if (violated)
             ++t.violations;
+        if (w) {
+            w->queued.record(span.breakdown.queuedNs);
+            w->running.record(span.breakdown.runningNs);
+            w->preempted.record(span.breakdown.preemptedNs);
+            w->timerLag.record(span.breakdown.timerLagNs);
+            w->total.record(span.latencyNs());
+            if (violated)
+                w->violations.add();
+        }
     } else {
         ++t.cancelled;
+        if (w)
+            w->cancelled.add();
     }
     if (options_.keepSpans != 0) {
         if (retained_.size() < options_.keepSpans)
@@ -244,6 +262,49 @@ SpanCollector::tenantStats() const
 {
     std::lock_guard<std::mutex> lock(aggMutex_);
     return tenants_;
+}
+
+std::map<std::uint32_t, SpanCollector::TenantStats>
+SpanCollector::tenantWindowStats() const
+{
+    std::lock_guard<std::mutex> lock(aggMutex_);
+    std::map<std::uint32_t, TenantStats> out;
+    for (const auto &[tenant, w] : windows_) {
+        TenantStats t;
+        t.queued = w.queued.aggregate();
+        t.running = w.running.aggregate();
+        t.preempted = w.preempted.aggregate();
+        t.timerLag = w.timerLag.aggregate();
+        t.total = w.total.aggregate();
+        t.completed = t.total.count();
+        t.cancelled = w.cancelled.total();
+        t.violations = w.violations.total();
+        out.emplace(tenant, std::move(t));
+    }
+    return out;
+}
+
+void
+SpanCollector::setWindowEpochs(std::size_t epochs)
+{
+    std::lock_guard<std::mutex> lock(aggMutex_);
+    options_.windowEpochs = epochs;
+    windows_.clear();
+}
+
+void
+SpanCollector::rotateWindows()
+{
+    std::lock_guard<std::mutex> lock(aggMutex_);
+    for (auto &[tenant, w] : windows_) {
+        w.queued.rotate();
+        w.running.rotate();
+        w.preempted.rotate();
+        w.timerLag.rotate();
+        w.total.rotate();
+        w.cancelled.rotate();
+        w.violations.rotate();
+    }
 }
 
 std::vector<TaskSpan>

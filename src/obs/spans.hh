@@ -52,6 +52,7 @@
 #include <mutex>
 
 #include "common/histogram.hh"
+#include "common/windowed_histogram.hh"
 
 namespace preempt::obs {
 
@@ -117,6 +118,11 @@ class SpanCollector
         /** Count spans whose total exceeds this as SLO violations in
          *  the per-tenant aggregate (0 = disabled). */
         std::uint64_t sloNs = 0;
+
+        /** Keep K-epoch sliding-window companions of every per-tenant
+         *  histogram (0 = off). Epochs rotate only via
+         *  rotateWindows() — the telemetry publisher's tick. */
+        std::size_t windowEpochs = 0;
     };
 
     /** Per-tenant aggregate of finished spans. */
@@ -193,6 +199,20 @@ class SpanCollector
     /** Copy of the per-tenant aggregates, keyed by tenant id. */
     std::map<std::uint32_t, TenantStats> tenantStats() const;
 
+    /**
+     * Per-tenant aggregates over the sliding window only (the last
+     * K epochs of finished spans). Empty map when windowing is off.
+     * `completed` counts finishes inside the window, and the
+     * histograms cover exactly those spans.
+     */
+    std::map<std::uint32_t, TenantStats> tenantWindowStats() const;
+
+    /** Enable (or resize, discarding window state) K-epoch windows. */
+    void setWindowEpochs(std::size_t epochs);
+
+    /** Publisher tick: retire the live epoch of every tenant. */
+    void rotateWindows();
+
     /** Copy of the retained finished spans (Options::keepSpans > 0),
      *  in finish order. */
     std::vector<TaskSpan> retainedSpans() const;
@@ -207,6 +227,25 @@ class SpanCollector
     struct OpenSpan;
     struct Shard;
 
+    /** Sliding-window companion of one tenant's aggregates. */
+    struct TenantWindow
+    {
+        explicit TenantWindow(std::size_t epochs)
+            : queued(epochs), running(epochs), preempted(epochs),
+              timerLag(epochs), total(epochs), cancelled(epochs),
+              violations(epochs)
+        {
+        }
+
+        WindowedLatencyHistogram queued;
+        WindowedLatencyHistogram running;
+        WindowedLatencyHistogram preempted;
+        WindowedLatencyHistogram timerLag;
+        WindowedLatencyHistogram total;
+        WindowedCounter cancelled;
+        WindowedCounter violations;
+    };
+
     Shard &shardFor(std::uint64_t id, std::uint32_t epoch);
     void finishSpan(Shard &shard, OpenSpan &open, std::uint64_t ts,
                     bool completed);
@@ -220,6 +259,7 @@ class SpanCollector
 
     mutable std::mutex aggMutex_;
     std::map<std::uint32_t, TenantStats> tenants_;
+    std::map<std::uint32_t, TenantWindow> windows_;
     std::vector<TaskSpan> retained_;
     Anomalies anomalies_;
 };

@@ -2,6 +2,7 @@
 
 #ifndef PREEMPT_OBS_DISABLED
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cctype>
 #include <chrono>
@@ -94,9 +95,8 @@ class Fnv
 };
 
 void
-hashTimer(Fnv &h, const TelemetrySnapshot::TimerSample &t)
+hashStats(Fnv &h, const TelemetrySnapshot::TimerStats &t)
 {
-    h.str(t.name);
     h.u64(t.count);
     h.u64(t.min);
     h.u64(t.max);
@@ -105,6 +105,15 @@ hashTimer(Fnv &h, const TelemetrySnapshot::TimerSample &t)
     h.u64(t.p90);
     h.u64(t.p99);
     h.u64(t.p999);
+}
+
+void
+hashTimer(Fnv &h, const TelemetrySnapshot::TimerSample &t)
+{
+    h.str(t.name);
+    hashStats(h, t);
+    hashStats(h, t.window);
+    h.u64(t.windowed ? 1 : 0);
 }
 
 // ----- rendering helpers --------------------------------------------
@@ -215,7 +224,7 @@ promName(const std::string &name)
 void
 promSummary(std::ostringstream &os, const std::string &base,
             const std::string &extraLabel,
-            const TelemetrySnapshot::TimerSample &t)
+            const TelemetrySnapshot::TimerStats &t)
 {
     auto line = [&](const char *q, std::uint64_t v) {
         os << base << '{';
@@ -236,13 +245,37 @@ promSummary(std::ostringstream &os, const std::string &base,
 }
 
 void
+jsonStatsBody(std::ostringstream &os,
+              const TelemetrySnapshot::TimerStats &t)
+{
+    os << "\"count\": " << t.count << ", \"min\": " << t.min
+       << ", \"max\": " << t.max << ", \"mean\": " << num(t.mean)
+       << ", \"p50\": " << t.p50 << ", \"p90\": " << t.p90
+       << ", \"p99\": " << t.p99 << ", \"p999\": " << t.p999;
+}
+
+void
+jsonStats(std::ostringstream &os,
+          const TelemetrySnapshot::TimerStats &t)
+{
+    os << "{";
+    jsonStatsBody(os, t);
+    os << "}";
+}
+
+/** Lifetime stats plus, when windowing is on, a nested "window"
+ *  object with the last-W aggregate. */
+void
 jsonTimer(std::ostringstream &os,
           const TelemetrySnapshot::TimerSample &t)
 {
-    os << "{\"count\": " << t.count << ", \"min\": " << t.min
-       << ", \"max\": " << t.max << ", \"mean\": " << num(t.mean)
-       << ", \"p50\": " << t.p50 << ", \"p90\": " << t.p90
-       << ", \"p99\": " << t.p99 << ", \"p999\": " << t.p999 << "}";
+    os << "{";
+    jsonStatsBody(os, t);
+    if (t.windowed) {
+        os << ", \"window\": ";
+        jsonStats(os, t.window);
+    }
+    os << "}";
 }
 
 /** JSON string escaping for metric names (quotes/backslashes). */
@@ -259,11 +292,10 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-TelemetrySnapshot::TimerSample
-sampleTimer(const std::string &name, const LatencyHistogram &h)
+TelemetrySnapshot::TimerStats
+sampleStats(const LatencyHistogram &h)
 {
-    TelemetrySnapshot::TimerSample t;
-    t.name = name;
+    TelemetrySnapshot::TimerStats t;
     t.count = h.count();
     t.min = h.min();
     t.max = h.max();
@@ -272,6 +304,15 @@ sampleTimer(const std::string &name, const LatencyHistogram &h)
     t.p90 = h.p90();
     t.p99 = h.p99();
     t.p999 = h.p999();
+    return t;
+}
+
+TelemetrySnapshot::TimerSample
+sampleTimer(const std::string &name, const LatencyHistogram &h)
+{
+    TelemetrySnapshot::TimerSample t;
+    static_cast<TelemetrySnapshot::TimerStats &>(t) = sampleStats(h);
+    t.name = name;
     return t;
 }
 
@@ -288,17 +329,22 @@ TelemetrySnapshot::computeChecksum() const
     h.u64(monoNs);
     h.f64(uptimeSec);
     h.f64(intervalSec);
+    h.f64(windowSec);
+    h.u64(windowEpochs);
     h.u64(counters.size());
     for (const CounterSample &c : counters) {
         h.str(c.name);
         h.u64(c.value);
         h.f64(c.ratePerSec);
+        h.f64(c.windowRatePerSec);
+        h.u64(c.resets);
     }
     h.u64(gauges.size());
     for (const GaugeSample &g : gauges) {
         h.str(g.name);
         h.i64(g.value);
         h.i64(g.watermark);
+        h.i64(g.windowWatermark);
     }
     h.u64(timers.size());
     for (const TimerSample &t : timers)
@@ -314,6 +360,14 @@ TelemetrySnapshot::computeChecksum() const
         hashTimer(h, t.preempted);
         hashTimer(h, t.timerLag);
         hashTimer(h, t.total);
+        h.u64(t.window.completed);
+        h.u64(t.window.cancelled);
+        h.u64(t.window.violations);
+        hashStats(h, t.window.queued);
+        hashStats(h, t.window.running);
+        hashStats(h, t.window.preempted);
+        hashStats(h, t.window.timerLag);
+        hashStats(h, t.window.total);
     }
     h.u64(spanInvariantViolations);
     h.u64(spanAnomalies);
@@ -334,6 +388,12 @@ renderPrometheus(const TelemetrySnapshot &snap)
        << "preempt_telemetry_snapshots_total " << snap.seq << '\n'
        << "# TYPE preempt_telemetry_uptime_seconds gauge\n"
        << "preempt_telemetry_uptime_seconds " << num(snap.uptimeSec)
+       << '\n'
+       << "# TYPE preempt_telemetry_window_seconds gauge\n"
+       << "preempt_telemetry_window_seconds " << num(snap.windowSec)
+       << '\n'
+       << "# TYPE preempt_telemetry_window_epochs gauge\n"
+       << "preempt_telemetry_window_epochs " << snap.windowEpochs
        << '\n';
 
     for (const auto &c : snap.counters) {
@@ -347,6 +407,12 @@ renderPrometheus(const TelemetrySnapshot &snap)
         os << "# TYPE " << p.base << "_rate gauge\n"
            << p.base << "_rate" << p.labels << ' ' << num(c.ratePerSec)
            << '\n';
+        os << "# TYPE " << p.base << "_rate_window gauge\n"
+           << p.base << "_rate_window" << p.labels << ' '
+           << num(c.windowRatePerSec) << '\n';
+        os << "# TYPE " << p.base << "_resets_total counter\n"
+           << p.base << "_resets_total" << p.labels << ' ' << c.resets
+           << '\n';
     }
     for (const auto &g : snap.gauges) {
         PromName p = promName(g.name);
@@ -355,6 +421,9 @@ renderPrometheus(const TelemetrySnapshot &snap)
         os << "# TYPE " << p.base << "_watermark gauge\n"
            << p.base << "_watermark" << p.labels << ' ' << g.watermark
            << '\n';
+        os << "# TYPE " << p.base << "_watermark_window gauge\n"
+           << p.base << "_watermark_window" << p.labels << ' '
+           << g.windowWatermark << '\n';
     }
     for (const auto &t : snap.timers) {
         PromName p = promName(t.name);
@@ -362,6 +431,8 @@ renderPrometheus(const TelemetrySnapshot &snap)
                                 ? ""
                                 : p.labels.substr(1, p.labels.size() - 2);
         promSummary(os, p.base, label, t);
+        if (t.windowed)
+            promSummary(os, p.base + "_window", label, t.window);
     }
 
     if (!snap.spans.empty()) {
@@ -389,6 +460,32 @@ renderPrometheus(const TelemetrySnapshot &snap)
                         t.timerLag);
             promSummary(os, "preempt_spans_total_ns", tenant, t.total);
         }
+        os << "# TYPE preempt_spans_completed_window gauge\n";
+        for (const auto &t : snap.spans)
+            os << "preempt_spans_completed_window{tenant=\"" << t.tenant
+               << "\"} " << t.window.completed << '\n';
+        os << "# TYPE preempt_spans_cancelled_window gauge\n";
+        for (const auto &t : snap.spans)
+            os << "preempt_spans_cancelled_window{tenant=\"" << t.tenant
+               << "\"} " << t.window.cancelled << '\n';
+        os << "# TYPE preempt_spans_slo_violations_window gauge\n";
+        for (const auto &t : snap.spans)
+            os << "preempt_spans_slo_violations_window{tenant=\""
+               << t.tenant << "\"} " << t.window.violations << '\n';
+        for (const auto &t : snap.spans) {
+            std::string tenant =
+                "tenant=\"" + std::to_string(t.tenant) + "\"";
+            promSummary(os, "preempt_spans_queued_ns_window", tenant,
+                        t.window.queued);
+            promSummary(os, "preempt_spans_running_ns_window", tenant,
+                        t.window.running);
+            promSummary(os, "preempt_spans_preempted_ns_window", tenant,
+                        t.window.preempted);
+            promSummary(os, "preempt_spans_timer_lag_ns_window", tenant,
+                        t.window.timerLag);
+            promSummary(os, "preempt_spans_total_ns_window", tenant,
+                        t.window.total);
+        }
         os << "# TYPE preempt_spans_invariant_violations_total counter\n"
            << "preempt_spans_invariant_violations_total "
            << snap.spanInvariantViolations << '\n'
@@ -411,6 +508,8 @@ renderTelemetryJson(const TelemetrySnapshot &snap)
     os << "  \"mono_ns\": " << snap.monoNs << ",\n";
     os << "  \"uptime_sec\": " << num(snap.uptimeSec) << ",\n";
     os << "  \"interval_sec\": " << num(snap.intervalSec) << ",\n";
+    os << "  \"window_sec\": " << num(snap.windowSec) << ",\n";
+    os << "  \"window_epochs\": " << snap.windowEpochs << ",\n";
     os << "  \"checksum\": \"" << std::hex << snap.checksum << std::dec
        << "\",\n";
 
@@ -419,7 +518,9 @@ renderTelemetryJson(const TelemetrySnapshot &snap)
     for (const auto &c : snap.counters) {
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(c.name)
            << "\": {\"value\": " << c.value << ", \"rate_per_sec\": "
-           << num(c.ratePerSec) << "}";
+           << num(c.ratePerSec) << ", \"window_rate_per_sec\": "
+           << num(c.windowRatePerSec) << ", \"resets\": " << c.resets
+           << "}";
         first = false;
     }
     os << (first ? "},\n" : "\n  },\n");
@@ -429,7 +530,8 @@ renderTelemetryJson(const TelemetrySnapshot &snap)
     for (const auto &g : snap.gauges) {
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(g.name)
            << "\": {\"value\": " << g.value << ", \"watermark\": "
-           << g.watermark << "}";
+           << g.watermark << ", \"window_watermark\": "
+           << g.windowWatermark << "}";
         first = false;
     }
     os << (first ? "},\n" : "\n  },\n");
@@ -465,7 +567,20 @@ renderTelemetryJson(const TelemetrySnapshot &snap)
         field("preempted", t.preempted);
         field("timer_lag", t.timerLag);
         field("total", t.total);
-        os << "}";
+        os << ", \"window\": {\"completed\": " << t.window.completed
+           << ", \"cancelled\": " << t.window.cancelled
+           << ", \"violations\": " << t.window.violations;
+        auto wfield = [&](const char *name,
+                          const TelemetrySnapshot::TimerStats &s) {
+            os << ", \"" << name << "\": ";
+            jsonStats(os, s);
+        };
+        wfield("queued", t.window.queued);
+        wfield("running", t.window.running);
+        wfield("preempted", t.window.preempted);
+        wfield("timer_lag", t.window.timerLag);
+        wfield("total", t.window.total);
+        os << "}}";
         first = false;
     }
     os << (first ? "}\n" : "\n    }\n");
@@ -501,19 +616,135 @@ unregisterTelemetrySampler(std::uint64_t id)
     }
 }
 
+// ----- stat tracker -------------------------------------------------
+
+StatTracker::StatTracker(std::size_t windowEpochs)
+    : epochs_(windowEpochs == 0 ? 1 : windowEpochs)
+{
+}
+
+void
+StatTracker::beginTick(std::uint64_t monoNs)
+{
+    ++tick_;
+    monoNs_ = monoNs;
+}
+
+StatTracker::CounterStats
+StatTracker::counter(const std::string &name, std::uint64_t value)
+{
+    CounterStats out;
+    CounterState &st = counters_[name];
+    st.lastTick = tick_;
+    if (!st.ring.empty()) {
+        std::uint64_t prevVal = st.ring.back().second;
+        if (value < prevVal) {
+            // The counter went backwards: its source restarted. Wind
+            // every retained sample down to zero so both rates cover
+            // the post-reset traffic instead of reporting 0 until the
+            // window drains.
+            ++st.resets;
+            for (auto &s : st.ring)
+                s.second = 0;
+            prevVal = 0;
+        }
+        std::uint64_t prevNs = st.ring.back().first;
+        if (monoNs_ > prevNs)
+            out.ratePerSec =
+                static_cast<double>(value - prevVal) /
+                (static_cast<double>(monoNs_ - prevNs) / 1e9);
+        const auto &oldest = st.ring.front();
+        if (monoNs_ > oldest.first)
+            out.windowRatePerSec =
+                static_cast<double>(value - oldest.second) /
+                (static_cast<double>(monoNs_ - oldest.first) / 1e9);
+    }
+    st.ring.emplace_back(monoNs_, value);
+    if (st.ring.size() > epochs_ + 1)
+        st.ring.erase(st.ring.begin());
+    out.resets = st.resets;
+    return out;
+}
+
+StatTracker::GaugeStats
+StatTracker::gauge(const std::string &name, std::int64_t value)
+{
+    GaugeStats out;
+    GaugeState &st = gauges_[name];
+    if (st.ring.empty())
+        st.watermark = value;
+    st.lastTick = tick_;
+    if (value > st.watermark)
+        st.watermark = value;
+    if (st.ring.size() < epochs_) {
+        st.ring.push_back(value);
+    } else {
+        st.ring[st.head] = value;
+        st.head = (st.head + 1) % epochs_;
+    }
+    std::int64_t wm = st.ring.front();
+    for (std::int64_t v : st.ring)
+        wm = std::max(wm, v);
+    out.watermark = st.watermark;
+    out.windowWatermark = wm;
+    return out;
+}
+
+void
+StatTracker::endTick()
+{
+    for (auto it = counters_.begin(); it != counters_.end();) {
+        if (it->second.lastTick != tick_)
+            it = counters_.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = gauges_.begin(); it != gauges_.end();) {
+        if (it->second.lastTick != tick_)
+            it = gauges_.erase(it);
+        else
+            ++it;
+    }
+}
+
 // ----- publisher ----------------------------------------------------
+
+namespace {
+
+/** Ring size K = round(window / interval); 0 = 10 intervals. */
+std::size_t
+epochsFor(const TelemetryPublisher::Options &o)
+{
+    if (o.interval <= 0)
+        return 1;
+    TimeNs window = o.window != 0 ? o.window : 10 * o.interval;
+    double k = static_cast<double>(window) /
+               static_cast<double>(o.interval);
+    auto epochs = static_cast<std::size_t>(k + 0.5);
+    if (epochs < 1)
+        epochs = 1;
+    if (epochs > 512)
+        epochs = 512;
+    return epochs;
+}
+
+} // namespace
 
 TelemetryPublisher::TelemetryPublisher(MetricsRegistry *registry,
                                        SpanCollector *spans,
                                        Options options)
-    : registry_(registry), spans_(spans), options_(std::move(options))
+    : registry_(registry), spans_(spans), options_(std::move(options)),
+      tracker_(epochsFor(options_)), windowEpochs_(epochsFor(options_))
 {
     fatal_if(options_.interval <= 0,
              "telemetry interval must be positive");
-    // Baselines for uptime/rates even when only tickNow() is used
-    // (tests, final flush) and start() never runs.
+    if (registry_)
+        registry_->enableWindows(windowEpochs_);
+    if (spans_)
+        spans_->setWindowEpochs(windowEpochs_);
+    // Baseline for uptime even when only tickNow() is used (tests,
+    // final flush) and start() never runs.
     startedAt_ = clockNs(CLOCK_MONOTONIC);
-    prevMonoNs_ = startedAt_;
 }
 
 TelemetryPublisher::~TelemetryPublisher()
@@ -618,9 +849,6 @@ TelemetryPublisher::buildAndPublish()
     std::uint64_t nextIdx = (cur + 1) & 1;
 
     std::uint64_t mono = clockNs(CLOCK_MONOTONIC);
-    double dt = prevMonoNs_ != 0 && mono > prevMonoNs_
-                    ? static_cast<double>(mono - prevMonoNs_) / 1e9
-                    : 0;
 
     TelemetrySnapshot snap;
     snap.seq = cur + 1;
@@ -629,60 +857,52 @@ TelemetryPublisher::buildAndPublish()
     snap.uptimeSec =
         static_cast<double>(mono - startedAt_) / 1e9;
     snap.intervalSec = static_cast<double>(options_.interval) / 1e9;
+    snap.windowEpochs = windowEpochs_;
+    snap.windowSec =
+        snap.intervalSec * static_cast<double>(windowEpochs_);
 
     if (registry_) {
         runSamplers(*registry_);
         MetricsSnapshot values = registry_->snapshotValues();
+        tracker_.beginTick(mono);
         snap.counters.reserve(values.counters.size());
         for (auto &[name, value] : values.counters) {
             TelemetrySnapshot::CounterSample c;
             c.name = name;
             c.value = value;
-            for (const auto &[pname, pvalue] : prevCounters_) {
-                if (pname == name) {
-                    if (dt > 0 && value >= pvalue)
-                        c.ratePerSec =
-                            static_cast<double>(value - pvalue) / dt;
-                    break;
-                }
-            }
+            StatTracker::CounterStats s = tracker_.counter(name, value);
+            c.ratePerSec = s.ratePerSec;
+            c.windowRatePerSec = s.windowRatePerSec;
+            c.resets = s.resets;
             snap.counters.push_back(std::move(c));
         }
-        prevCounters_.clear();
-        for (const auto &c : snap.counters)
-            prevCounters_.emplace_back(c.name, c.value);
 
         snap.gauges.reserve(values.gauges.size());
         for (auto &[name, value] : values.gauges) {
             TelemetrySnapshot::GaugeSample g;
             g.name = name;
             g.value = value;
-            g.watermark = value;
-            for (auto &[wname, wvalue] : watermarks_) {
-                if (wname == name) {
-                    if (value > wvalue)
-                        wvalue = value;
-                    g.watermark = wvalue;
-                    break;
-                }
-            }
-            if (g.watermark == value) {
-                bool known = false;
-                for (auto &[wname, wvalue] : watermarks_)
-                    known |= wname == name;
-                if (!known)
-                    watermarks_.emplace_back(name, value);
-            }
+            StatTracker::GaugeStats s = tracker_.gauge(name, value);
+            g.watermark = s.watermark;
+            g.windowWatermark = s.windowWatermark;
             snap.gauges.push_back(std::move(g));
         }
+        tracker_.endTick();
 
         snap.timers.reserve(values.timers.size());
-        for (auto &[name, hist] : values.timers)
-            snap.timers.push_back(sampleTimer(name, hist));
+        for (auto &tv : values.timers) {
+            TelemetrySnapshot::TimerSample t =
+                sampleTimer(tv.name, tv.hist);
+            t.windowed = tv.windowed;
+            if (tv.windowed)
+                t.window = sampleStats(tv.window);
+            snap.timers.push_back(std::move(t));
+        }
     }
 
     if (spans_) {
         auto tenants = spans_->tenantStats();
+        auto windows = spans_->tenantWindowStats();
         snap.spans.reserve(tenants.size());
         for (const auto &[tenant, stats] : tenants) {
             TelemetrySnapshot::TenantSpans t;
@@ -695,6 +915,18 @@ TelemetryPublisher::buildAndPublish()
             t.preempted = sampleTimer("preempted", stats.preempted);
             t.timerLag = sampleTimer("timer_lag", stats.timerLag);
             t.total = sampleTimer("total", stats.total);
+            auto wit = windows.find(tenant);
+            if (wit != windows.end()) {
+                const SpanCollector::TenantStats &w = wit->second;
+                t.window.completed = w.completed;
+                t.window.cancelled = w.cancelled;
+                t.window.violations = w.violations;
+                t.window.queued = sampleStats(w.queued);
+                t.window.running = sampleStats(w.running);
+                t.window.preempted = sampleStats(w.preempted);
+                t.window.timerLag = sampleStats(w.timerLag);
+                t.window.total = sampleStats(w.total);
+            }
             snap.spans.push_back(std::move(t));
         }
         snap.spanInvariantViolations = spans_->invariantViolations();
@@ -702,7 +934,13 @@ TelemetryPublisher::buildAndPublish()
     }
 
     snap.checksum = snap.computeChecksum();
-    prevMonoNs_ = mono;
+
+    // Retire the live window epochs only after the snapshot captured
+    // them: each published window covers the K intervals ending now.
+    if (registry_)
+        registry_->rotateWindows();
+    if (spans_)
+        spans_->rotateWindows();
 
     // Double buffer: fill the back buffer under its mutex, then flip.
     // A reader that loaded the old index may still be copying the

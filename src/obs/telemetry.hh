@@ -12,6 +12,15 @@
  * buffer: readers never block the writer, and a torn read is
  * impossible (tests/test_telemetry.cc hammers exactly that).
  *
+ * Every lifetime statistic has a sliding-window companion so a scrape
+ * sees *recent* behaviour, not the whole-run blend: timers and span
+ * breakdowns keep K-epoch windowed histograms (rotated on publisher
+ * ticks — never from wall-clock reads on the record path, preserving
+ * simulator byte-determinism), counters get window rates with
+ * explicit reset detection, gauges get window watermarks that decay
+ * once the burst that set them leaves the window. Exporters surface
+ * them as `*_window` series next to the lifetime ones.
+ *
  * Scrape paths:
  *   - HTTP (dependency-free, loopback by default): GET /metrics is
  *     Prometheus text exposition, GET /metrics.json (or /json) the
@@ -38,8 +47,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hh"
@@ -50,23 +61,9 @@ namespace preempt::obs {
 /** One published snapshot: plain data, cheap to copy. */
 struct TelemetrySnapshot
 {
-    struct CounterSample
+    /** Quantile summary of one histogram (lifetime or windowed). */
+    struct TimerStats
     {
-        std::string name;
-        std::uint64_t value = 0;
-        double ratePerSec = 0; ///< delta vs the previous snapshot
-    };
-
-    struct GaugeSample
-    {
-        std::string name;
-        std::int64_t value = 0;
-        std::int64_t watermark = 0; ///< max value ever snapshotted
-    };
-
-    struct TimerSample
-    {
-        std::string name;
         std::uint64_t count = 0;
         std::uint64_t min = 0;
         std::uint64_t max = 0;
@@ -75,6 +72,42 @@ struct TelemetrySnapshot
         std::uint64_t p90 = 0;
         std::uint64_t p99 = 0;
         std::uint64_t p999 = 0;
+    };
+
+    struct CounterSample
+    {
+        std::string name;
+        std::uint64_t value = 0;
+        double ratePerSec = 0; ///< delta vs the previous snapshot
+
+        /** Rate over the whole sliding window (last K ticks), the
+         *  honest "recent traffic" figure a single-interval delta
+         *  only approximates. */
+        double windowRatePerSec = 0;
+
+        /** Times the counter went backwards (source restarted). A
+         *  reset re-bases rates on the post-reset value instead of
+         *  silently reporting 0. */
+        std::uint64_t resets = 0;
+    };
+
+    struct GaugeSample
+    {
+        std::string name;
+        std::int64_t value = 0;
+        std::int64_t watermark = 0; ///< max value ever snapshotted
+
+        /** Max over the last K ticks only: decays once the burst that
+         *  set the lifetime watermark leaves the window. */
+        std::int64_t windowWatermark = 0;
+    };
+
+    /** Lifetime quantiles + sliding-window companion. */
+    struct TimerSample : TimerStats
+    {
+        std::string name;
+        TimerStats window;    ///< last-W aggregate (zero if off)
+        bool windowed = false;
     };
 
     /** Per-tenant span delay breakdown (obs/spans.hh). */
@@ -89,6 +122,19 @@ struct TelemetrySnapshot
         TimerSample preempted;
         TimerSample timerLag;
         TimerSample total;
+
+        /** The same breakdown over finishes inside the window only. */
+        struct Window
+        {
+            std::uint64_t completed = 0;
+            std::uint64_t cancelled = 0;
+            std::uint64_t violations = 0;
+            TimerStats queued;
+            TimerStats running;
+            TimerStats preempted;
+            TimerStats timerLag;
+            TimerStats total;
+        } window;
     };
 
     std::uint64_t seq = 0;       ///< snapshot number, monotonic
@@ -96,6 +142,8 @@ struct TelemetrySnapshot
     std::uint64_t monoNs = 0;    ///< CLOCK_MONOTONIC at build time
     double uptimeSec = 0;        ///< since the publisher started
     double intervalSec = 0;      ///< configured publish interval
+    double windowSec = 0;        ///< sliding window span (K * interval)
+    std::uint64_t windowEpochs = 0; ///< ring size K
     std::vector<CounterSample> counters;
     std::vector<GaugeSample> gauges;
     std::vector<TimerSample> timers;
@@ -108,6 +156,80 @@ struct TelemetrySnapshot
 
     /** Recompute the checksum field's expected value. */
     std::uint64_t computeChecksum() const;
+};
+
+/**
+ * Keyed per-metric rate and watermark memory between publisher ticks.
+ *
+ * Replaces the publisher's former per-snapshot linear rescans (the
+ * previous-counter vector was cleared and re-searched per counter,
+ * the watermark vector scanned twice per gauge — O(n^2) per tick)
+ * with one sorted map lookup per metric, and adds the windowed
+ * accounting: per-counter value rings for window rates with explicit
+ * reset detection, per-gauge value rings for decaying watermarks.
+ * States whose metric disappears from a tick are garbage-collected by
+ * endTick(), so memory tracks the live metric set, and a name that
+ * reappears later starts fresh.
+ *
+ * Single-writer (the publisher tick path); not thread-safe.
+ */
+class StatTracker
+{
+  public:
+    /** @param windowEpochs ring size K (clamped to >= 1). */
+    explicit StatTracker(std::size_t windowEpochs);
+
+    struct CounterStats
+    {
+        double ratePerSec = 0;
+        double windowRatePerSec = 0;
+        std::uint64_t resets = 0;
+    };
+
+    struct GaugeStats
+    {
+        std::int64_t watermark = 0;
+        std::int64_t windowWatermark = 0;
+    };
+
+    /** Start a tick at the given monotonic time. */
+    void beginTick(std::uint64_t monoNs);
+
+    /** Observe one counter value (once per tick per name). */
+    CounterStats counter(const std::string &name, std::uint64_t value);
+
+    /** Observe one gauge value (once per tick per name). */
+    GaugeStats gauge(const std::string &name, std::int64_t value);
+
+    /** Finish the tick: drop state of metrics not observed in it. */
+    void endTick();
+
+    std::size_t trackedCounters() const { return counters_.size(); }
+    std::size_t trackedGauges() const { return gauges_.size(); }
+    std::size_t windowEpochs() const { return epochs_; }
+
+  private:
+    /** (monoNs, value) samples at the end of the last <= K+1 ticks. */
+    struct CounterState
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ring;
+        std::uint64_t resets = 0;
+        std::uint64_t lastTick = 0;
+    };
+
+    struct GaugeState
+    {
+        std::int64_t watermark = 0;
+        std::vector<std::int64_t> ring; ///< last <= K tick values
+        std::size_t head = 0;
+        std::uint64_t lastTick = 0;
+    };
+
+    std::size_t epochs_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t monoNs_ = 0;
+    std::map<std::string, CounterState> counters_;
+    std::map<std::string, GaugeState> gauges_;
 };
 
 /** Prometheus text exposition (version 0.0.4) of a snapshot. */
@@ -139,6 +261,15 @@ class TelemetryPublisher
     {
         /** Publish interval. */
         TimeNs interval = msToNs(1000);
+
+        /**
+         * Sliding-window span for `*_window` series. The window is
+         * kept as K = round(window / interval) histogram epochs
+         * (clamped to [1, 512]); 0 = default of 10 intervals.
+         * Rotation happens on publisher ticks only, so simulator
+         * determinism is untouched.
+         */
+        TimeNs window = 0;
 
         /**
          * HTTP listener port on 127.0.0.1: -1 = no listener,
@@ -193,6 +324,9 @@ class TelemetryPublisher
         return seq_.load(std::memory_order_acquire);
     }
 
+    /** Window ring size K derived from Options::window. */
+    std::size_t windowEpochs() const { return windowEpochs_; }
+
   private:
     void publisherLoop();
     void listenerLoop();
@@ -219,10 +353,10 @@ class TelemetryPublisher
     std::atomic<std::uint64_t> seq_{0};
     std::mutex tickMutex_;
 
-    // Rate/watermark memory between snapshots.
-    std::vector<std::pair<std::string, std::uint64_t>> prevCounters_;
-    std::uint64_t prevMonoNs_ = 0;
-    std::vector<std::pair<std::string, std::int64_t>> watermarks_;
+    // Rate/watermark memory between snapshots (keyed; O(log n) per
+    // metric per tick instead of the old O(n) rescan per metric).
+    StatTracker tracker_;
+    std::size_t windowEpochs_ = 1;
 
     TimeNs startedAt_ = 0;
     std::atomic<bool> stop_{false};

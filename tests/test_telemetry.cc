@@ -236,6 +236,253 @@ TEST(Telemetry, SamplersRunPerTickAndUnregisterStops)
     EXPECT_EQ(calls.load(), 1);
 }
 
+// ----- stat tracker -------------------------------------------------
+
+TEST(StatTracker, FirstSightingHasNoRate)
+{
+    obs::StatTracker tr(4);
+    tr.beginTick(1'000'000'000);
+    obs::StatTracker::CounterStats s = tr.counter("c", 100);
+    EXPECT_DOUBLE_EQ(s.ratePerSec, 0.0);
+    EXPECT_DOUBLE_EQ(s.windowRatePerSec, 0.0);
+    EXPECT_EQ(s.resets, 0u);
+    tr.endTick();
+    EXPECT_EQ(tr.trackedCounters(), 1u);
+}
+
+TEST(StatTracker, IntervalAndWindowRatesDiffer)
+{
+    obs::StatTracker tr(4);
+    tr.beginTick(1'000'000'000);
+    tr.counter("c", 100);
+    tr.endTick();
+    tr.beginTick(2'000'000'000);
+    obs::StatTracker::CounterStats s = tr.counter("c", 300);
+    EXPECT_DOUBLE_EQ(s.ratePerSec, 200.0);
+    EXPECT_DOUBLE_EQ(s.windowRatePerSec, 200.0);
+    tr.endTick();
+    tr.beginTick(3'000'000'000);
+    s = tr.counter("c", 400);
+    // Last interval: 100/s. Window (2 s, +300): 150/s.
+    EXPECT_DOUBLE_EQ(s.ratePerSec, 100.0);
+    EXPECT_DOUBLE_EQ(s.windowRatePerSec, 150.0);
+    tr.endTick();
+}
+
+TEST(StatTracker, CounterResetIsCountedAndRebasesRates)
+{
+    obs::StatTracker tr(4);
+    tr.beginTick(1'000'000'000);
+    tr.counter("c", 100000);
+    tr.endTick();
+    // Source restarted: the value collapses below the previous sample.
+    tr.beginTick(2'000'000'000);
+    obs::StatTracker::CounterStats s = tr.counter("c", 50);
+    EXPECT_EQ(s.resets, 1u);
+    // The old honest-zero behaviour reported rate 0 here; re-basing on
+    // the post-reset value reports the actual post-restart traffic.
+    EXPECT_DOUBLE_EQ(s.ratePerSec, 50.0);
+    EXPECT_DOUBLE_EQ(s.windowRatePerSec, 50.0);
+    tr.endTick();
+    // Post-reset deltas accumulate normally again.
+    tr.beginTick(3'000'000'000);
+    s = tr.counter("c", 150);
+    EXPECT_EQ(s.resets, 1u);
+    EXPECT_DOUBLE_EQ(s.ratePerSec, 100.0);
+    EXPECT_DOUBLE_EQ(s.windowRatePerSec, 75.0);
+    tr.endTick();
+}
+
+TEST(StatTracker, DisappearedMetricsAreDroppedAndRestartFresh)
+{
+    obs::StatTracker tr(4);
+    tr.beginTick(1'000'000'000);
+    tr.counter("a", 10);
+    tr.counter("b", 99);
+    tr.gauge("g", 7);
+    tr.endTick();
+    EXPECT_EQ(tr.trackedCounters(), 2u);
+    EXPECT_EQ(tr.trackedGauges(), 1u);
+    tr.beginTick(2'000'000'000);
+    tr.counter("a", 20);
+    tr.endTick();
+    // "b" and "g" were not observed: their state must be dropped.
+    EXPECT_EQ(tr.trackedCounters(), 1u);
+    EXPECT_EQ(tr.trackedGauges(), 0u);
+    // A reappearing name starts fresh — no phantom reset or rate from
+    // the old incarnation.
+    tr.beginTick(3'000'000'000);
+    obs::StatTracker::CounterStats s = tr.counter("b", 5);
+    EXPECT_EQ(s.resets, 0u);
+    EXPECT_DOUBLE_EQ(s.ratePerSec, 0.0);
+    tr.endTick();
+}
+
+TEST(StatTracker, ManyMetricsSurviveChurn)
+{
+    // The former publisher rescanned a cleared vector per counter —
+    // O(n^2) and rate-blind to churn order. The keyed tracker must
+    // keep exact rates for the stable names while half the metric set
+    // appears and disappears each tick.
+    constexpr int kStable = 200, kChurn = 200;
+    obs::StatTracker tr(4);
+    for (std::uint64_t tick = 1; tick <= 10; ++tick) {
+        tr.beginTick(tick * 1'000'000'000ULL);
+        for (int i = 0; i < kStable; ++i) {
+            obs::StatTracker::CounterStats s = tr.counter(
+                "stable." + std::to_string(i), tick * 100);
+            if (tick > 1)
+                EXPECT_DOUBLE_EQ(s.ratePerSec, 100.0)
+                    << "stable." << i << " at tick " << tick;
+        }
+        for (int i = 0; i < kChurn; ++i) {
+            // Only half the churn set exists on any given tick.
+            if ((static_cast<std::uint64_t>(i) + tick) % 2 == 0)
+                tr.counter("churn." + std::to_string(i), tick);
+        }
+        tr.endTick();
+        EXPECT_EQ(tr.trackedCounters(),
+                  static_cast<std::size_t>(kStable + kChurn / 2));
+    }
+}
+
+TEST(StatTracker, WindowWatermarkDecaysAfterBurstLeavesWindow)
+{
+    obs::StatTracker tr(2);
+    tr.beginTick(1'000'000'000);
+    obs::StatTracker::GaugeStats s = tr.gauge("g", 100);
+    EXPECT_EQ(s.watermark, 100);
+    EXPECT_EQ(s.windowWatermark, 100);
+    tr.endTick();
+    tr.beginTick(2'000'000'000);
+    s = tr.gauge("g", 5);
+    // Burst still inside the 2-tick window.
+    EXPECT_EQ(s.watermark, 100);
+    EXPECT_EQ(s.windowWatermark, 100);
+    tr.endTick();
+    tr.beginTick(3'000'000'000);
+    s = tr.gauge("g", 7);
+    // Burst left the window: the window watermark decays, the
+    // lifetime one never does.
+    EXPECT_EQ(s.watermark, 100);
+    EXPECT_EQ(s.windowWatermark, 7);
+    tr.endTick();
+}
+
+// ----- sliding windows through the publisher ------------------------
+
+TEST(TelemetryWindow, EpochCountDerivesFromInterval)
+{
+    MetricsRegistry reg;
+    TelemetryPublisher::Options opt = fastOptions(); // 5 ms interval
+    opt.window = msToNs(15);
+    TelemetryPublisher pub(&reg, nullptr, opt);
+    EXPECT_EQ(pub.windowEpochs(), 3u);
+    TelemetryPublisher::Options def = fastOptions(); // default window
+    TelemetryPublisher pub2(&reg, nullptr, def);
+    EXPECT_EQ(pub2.windowEpochs(), 10u);
+}
+
+TEST(TelemetryWindow, QuantilesTrackLoadShiftWhileLifetimeBlends)
+{
+    MetricsRegistry reg;
+    obs::TimerMetric &t = reg.timer("shift.lat");
+    TelemetryPublisher::Options opt = fastOptions();
+    opt.window = msToNs(15); // K = 3 epochs
+    TelemetryPublisher pub(&reg, nullptr, opt);
+
+    for (int e = 0; e < 10; ++e) { // long low-latency phase
+        for (int i = 0; i < 1000; ++i)
+            t.record(1000);
+        pub.tickNow();
+    }
+    for (int e = 0; e < 3; ++e) { // one full window of high latency
+        for (int i = 0; i < 1000; ++i)
+            t.record(1000000);
+        pub.tickNow();
+    }
+    TelemetrySnapshot snap = pub.snapshot();
+    ASSERT_EQ(snap.timers.size(), 1u);
+    ASSERT_TRUE(snap.timers[0].windowed);
+    EXPECT_EQ(snap.windowEpochs, 3u);
+    // The window converged to the new phase within K ticks...
+    EXPECT_GT(snap.timers[0].window.p50, 500000u);
+    EXPECT_LE(snap.timers[0].window.count, snap.timers[0].count);
+    // ...while the lifetime median still sits in the old phase
+    // (10k low samples vs 3k high ones).
+    EXPECT_LT(snap.timers[0].p50, 2000u);
+    EXPECT_EQ(snap.checksum, snap.computeChecksum());
+}
+
+TEST(TelemetryWindow, SpanWindowsFollowRecentTenantTraffic)
+{
+    SpanCollector spans;
+    TelemetryPublisher::Options opt = fastOptions();
+    opt.window = msToNs(10); // K = 2 epochs
+    TelemetryPublisher pub(nullptr, &spans, opt);
+
+    auto lifecycle = [&](std::uint64_t id, std::uint64_t start,
+                         std::uint64_t dur) {
+        spans.onEvent(obs::EventKind::TaskSubmit, 0, start, id, 0, 3);
+        spans.onEvent(obs::EventKind::Launch, 0, start + 1, id, 0, 0);
+        spans.onEvent(obs::EventKind::Complete, 0, start + dur, id, 0,
+                      0);
+    };
+    lifecycle(1, 0, 100);
+    pub.tickNow();
+    pub.tickNow();
+    pub.tickNow(); // first span has rotated out of the 2-epoch window
+    lifecycle(2, 1000, 5000);
+    pub.tickNow();
+    TelemetrySnapshot snap = pub.snapshot();
+    ASSERT_EQ(snap.spans.size(), 1u);
+    EXPECT_EQ(snap.spans[0].completed, 2u);
+    // Lifetime covers both spans; the window only the recent one.
+    EXPECT_EQ(snap.spans[0].total.count, 2u);
+    EXPECT_EQ(snap.spans[0].window.completed, 1u);
+    EXPECT_EQ(snap.spans[0].window.total.count, 1u);
+    EXPECT_GT(snap.spans[0].window.total.p50, 1000u);
+}
+
+TEST(TelemetryWindow, RenderingsExposeWindowSeries)
+{
+    MetricsRegistry reg;
+    reg.counter("w.ops").add(50);
+    reg.gauge("w.depth").set(9);
+    reg.timer("w.lat").record(777);
+    SpanCollector spans;
+    spans.onEvent(obs::EventKind::TaskSubmit, 0, 0, 1, 0, 2);
+    spans.onEvent(obs::EventKind::Launch, 0, 5, 1, 0, 0);
+    spans.onEvent(obs::EventKind::Complete, 0, 9, 1, 0, 0);
+    TelemetryPublisher pub(&reg, &spans, fastOptions());
+    pub.tickNow();
+    pub.tickNow();
+    TelemetrySnapshot snap = pub.snapshot();
+    EXPECT_GT(snap.windowSec, 0.0);
+
+    std::string prom = obs::renderPrometheus(snap);
+    for (const char *series :
+         {"preempt_telemetry_window_seconds",
+          "preempt_w_ops_rate_window", "preempt_w_ops_resets_total",
+          "preempt_w_depth_watermark_window", "preempt_w_lat_window",
+          "preempt_spans_total_ns_window",
+          "preempt_spans_completed_window"})
+        EXPECT_NE(prom.find(series), std::string::npos)
+            << "missing " << series << "\n"
+            << prom;
+
+    std::string json = obs::renderTelemetryJson(snap);
+    std::string err;
+    EXPECT_TRUE(obs::validateJson(json, &err)) << err << "\n" << json;
+    for (const char *field :
+         {"\"window_sec\"", "\"window_epochs\"",
+          "\"window_rate_per_sec\"", "\"resets\"",
+          "\"window_watermark\"", "\"window\""})
+        EXPECT_NE(json.find(field), std::string::npos)
+            << "missing " << field << "\n"
+            << json;
+}
+
 // ----- renderings ---------------------------------------------------
 
 TEST(Telemetry, PrometheusRenderingExposesEverySeries)

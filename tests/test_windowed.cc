@@ -1,0 +1,208 @@
+/** @file Unit tests for the sliding-window histogram/counter rings. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/windowed_histogram.hh"
+
+namespace preempt {
+namespace {
+
+TEST(Windowed, EmptyAggregateIsZero)
+{
+    WindowedLatencyHistogram w(4);
+    EXPECT_EQ(w.epochs(), 4u);
+    EXPECT_EQ(w.rotations(), 0u);
+    LatencyHistogram agg = w.aggregate();
+    EXPECT_EQ(agg.count(), 0u);
+    EXPECT_EQ(agg.p99(), 0u);
+}
+
+TEST(Windowed, EpochCountClampedToOne)
+{
+    WindowedLatencyHistogram w(0);
+    EXPECT_EQ(w.epochs(), 1u);
+    w.record(5);
+    EXPECT_EQ(w.aggregate().count(), 1u);
+}
+
+TEST(Windowed, RecordsLandInLiveEpoch)
+{
+    WindowedLatencyHistogram w(4);
+    w.record(100);
+    w.record(200, 3);
+    LatencyHistogram agg = w.aggregate();
+    EXPECT_EQ(agg.count(), 4u);
+    EXPECT_EQ(agg.min(), 100u);
+    EXPECT_GE(agg.max(), 200u);
+}
+
+TEST(Windowed, RotationExpiresEpochsAfterK)
+{
+    WindowedLatencyHistogram w(4);
+    w.record(1000, 10);
+    for (int r = 0; r < 3; ++r) {
+        w.rotate();
+        EXPECT_EQ(w.aggregate().count(), 10u)
+            << "retained epoch lost too early at rotation " << r;
+    }
+    w.rotate(); // 4th rotation: the epoch holding the samples recycles
+    EXPECT_EQ(w.aggregate().count(), 0u);
+    EXPECT_EQ(w.rotations(), 4u);
+}
+
+TEST(Windowed, AggregateCoversExactlyLastKEpochs)
+{
+    WindowedLatencyHistogram w(3);
+    // Epoch i records (i+1) samples of value 10^i-ish spread.
+    for (std::uint64_t e = 0; e < 6; ++e) {
+        w.record(100 * (e + 1), e + 1);
+        if (e != 5)
+            w.rotate();
+    }
+    // Live epoch holds 6 samples, retained ones 5 and 4: total 15.
+    EXPECT_EQ(w.aggregate().count(), 6u + 5u + 4u);
+    EXPECT_EQ(w.aggregate().min(), 400u);
+}
+
+TEST(Windowed, MergeFoldsIntoLiveEpoch)
+{
+    LatencyHistogram h;
+    h.record(50);
+    h.record(70);
+    WindowedLatencyHistogram w(2);
+    w.merge(h);
+    EXPECT_EQ(w.aggregate().count(), 2u);
+    w.rotate();
+    w.rotate();
+    EXPECT_EQ(w.aggregate().count(), 0u);
+}
+
+TEST(Windowed, LoadShiftConvergesWithinWindow)
+{
+    // Golden behaviour the telemetry plane is built on: after a load
+    // shift, the window quantiles track the new phase once the old
+    // epochs rotate out, while a lifetime histogram stays blended.
+    constexpr std::size_t kEpochs = 8;
+    WindowedLatencyHistogram window(kEpochs);
+    LatencyHistogram lifetime;
+    Rng rng(42);
+
+    auto runPhase = [&](std::uint64_t base, int epochs) {
+        for (int e = 0; e < epochs; ++e) {
+            for (int i = 0; i < 1000; ++i) {
+                std::uint64_t v = base + rng.below(base / 10);
+                window.record(v);
+                lifetime.record(v);
+            }
+            window.rotate();
+        }
+    };
+
+    runPhase(1000, 32);    // long low-latency phase
+    runPhase(100000, 8);   // shift: one full window of high latency
+
+    std::uint64_t wp50 = window.aggregate().p50();
+    std::uint64_t lp50 = lifetime.p50();
+    // The window has fully converged to the recent phase...
+    EXPECT_GE(wp50, 100000u * 95 / 100);
+    EXPECT_LE(wp50, 110000u * 105 / 100);
+    // ...while the lifetime median still reflects the old phase
+    // (32k old samples vs 8k new ones keep it at the low mode).
+    EXPECT_LT(lp50, 2000u);
+}
+
+TEST(Windowed, MemoryStaysBoundedByK)
+{
+    // O(K) guarantee: the ring never grows with traffic. Drive far
+    // more samples and rotations than epochs and check the structure
+    // is still exactly K fixed-size histograms (the only dynamic
+    // allocation), with counts that only ever cover K epochs.
+    constexpr std::size_t kEpochs = 4;
+    WindowedLatencyHistogram w(kEpochs);
+    for (int e = 0; e < 10000; ++e) {
+        w.record(static_cast<std::uint64_t>(e + 1),
+                 1'000'000'000ULL); // huge multiplicity, no allocation
+        w.rotate();
+        EXPECT_EQ(w.epochs(), kEpochs);
+        EXPECT_LE(w.aggregate().count(), kEpochs * 1'000'000'000ULL);
+    }
+    EXPECT_EQ(w.rotations(), 10000u);
+}
+
+TEST(Windowed, ResizeDiscardsAndResetKeepsK)
+{
+    WindowedLatencyHistogram w(2);
+    w.record(10);
+    w.resize(6);
+    EXPECT_EQ(w.epochs(), 6u);
+    EXPECT_EQ(w.aggregate().count(), 0u);
+    w.record(20);
+    w.reset();
+    EXPECT_EQ(w.epochs(), 6u);
+    EXPECT_EQ(w.aggregate().count(), 0u);
+}
+
+TEST(Windowed, DeterministicAcrossInstances)
+{
+    // Same drive sequence => byte-identical aggregate statistics.
+    // Nothing in the ring reads a clock, so this holds regardless of
+    // when or how fast the sequence is replayed.
+    auto drive = [](WindowedLatencyHistogram &w) {
+        Rng rng(7);
+        for (int e = 0; e < 20; ++e) {
+            for (int i = 0; i < 500; ++i)
+                w.record(1 + rng.below(1000000));
+            w.rotate();
+        }
+    };
+    WindowedLatencyHistogram a(5), b(5);
+    drive(a);
+    drive(b);
+    LatencyHistogram ha = a.aggregate(), hb = b.aggregate();
+    EXPECT_EQ(ha.count(), hb.count());
+    EXPECT_EQ(ha.min(), hb.min());
+    EXPECT_EQ(ha.max(), hb.max());
+    for (double q : {0.1, 0.5, 0.9, 0.99, 0.999})
+        EXPECT_EQ(ha.quantile(q), hb.quantile(q)) << "q=" << q;
+    double ma = ha.mean(), mb = hb.mean();
+    EXPECT_EQ(0, std::memcmp(&ma, &mb, sizeof(ma)))
+        << "means are not bitwise identical";
+}
+
+TEST(WindowedCounter, TotalCoversLastKEpochs)
+{
+    WindowedCounter c(3);
+    c.add(5);
+    EXPECT_EQ(c.total(), 5u);
+    c.rotate();
+    c.add(7);
+    EXPECT_EQ(c.total(), 12u);
+    c.rotate();
+    c.add(1);
+    EXPECT_EQ(c.total(), 13u);
+    c.rotate(); // the epoch holding 5 recycles
+    EXPECT_EQ(c.total(), 8u);
+    c.rotate();
+    c.rotate();
+    EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(WindowedCounter, ResizeAndReset)
+{
+    WindowedCounter c(2);
+    c.add(3);
+    c.resize(4);
+    EXPECT_EQ(c.epochs(), 4u);
+    EXPECT_EQ(c.total(), 0u);
+    c.add(9);
+    c.reset();
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_EQ(c.epochs(), 4u);
+}
+
+} // namespace
+} // namespace preempt

@@ -12,9 +12,13 @@ silently divided by a failed measurement.
 Two schema-pinned modes validate the live-telemetry artifacts:
 
   --telemetry FILE   a TelemetryPublisher snapshot dump / HTTP
-                     /metrics.json body (schema "preempt.telemetry.v1")
+                     /metrics.json body (schema "preempt.telemetry.v1"
+                     with the sliding-window fields: window_sec /
+                     window_epochs, per-counter window_rate_per_sec
+                     and resets, per-gauge window_watermark, and
+                     per-tenant "window" span blocks)
   --spans FILE       a tools/span_tool --json export
-                     (schema "preempt.spans.v1")
+                     (schema "preempt.spans.v2")
 
 Usage: check_bench_json.py GENERATED REFERENCE
        check_bench_json.py --telemetry FILE
@@ -109,6 +113,7 @@ def check_telemetry(path):
     expect(snap, "", {
         "schema": str, "seq": int, "wall_ns": int, "mono_ns": int,
         "uptime_sec": (int, float), "interval_sec": (int, float),
+        "window_sec": (int, float), "window_epochs": int,
         "checksum": str, "counters": dict, "gauges": dict,
         "timers": dict, "spans": dict,
     })
@@ -117,24 +122,35 @@ def check_telemetry(path):
                        f"got '{snap['schema']}'")
     if snap["seq"] < 1:
         fail("seq", "snapshot was never published (seq < 1)")
+    if snap["window_epochs"] < 1:
+        fail("window_epochs", "window ring must hold >= 1 epoch")
     try:
         int(snap["checksum"], 16)
     except ValueError:
         fail("checksum", f"not a hex string: '{snap['checksum']}'")
     for name, c in snap["counters"].items():
         expect(c, f"counters.{name}",
-               {"value": int, "rate_per_sec": (int, float)})
+               {"value": int, "rate_per_sec": (int, float),
+                "window_rate_per_sec": (int, float), "resets": int})
         if c["value"] < 0:
             fail(f"counters.{name}.value", "counter went negative")
     for name, g in snap["gauges"].items():
-        expect(g, f"gauges.{name}", {"value": int, "watermark": int})
+        expect(g, f"gauges.{name}",
+               {"value": int, "watermark": int,
+                "window_watermark": int})
     for name, t in snap["timers"].items():
         check_quantiles(t, f"timers.{name}")
+        if "window" not in t:
+            fail(f"timers.{name}", "missing sliding-window stats")
+        check_quantiles(t["window"], f"timers.{name}.window")
+        if t["window"]["count"] > t["count"]:
+            fail(f"timers.{name}.window",
+                 "window count exceeds lifetime count")
     spans = snap["spans"]
     expect(spans, "spans", {"invariant_violations": int,
                             "anomalies": int, "tenants": dict})
-    for tenant, t in spans["tenants"].items():
-        tpath = f"spans.tenants.{tenant}"
+
+    def check_breakdown(t, tpath):
         expect(t, tpath, {"completed": int, "cancelled": int,
                           "violations": int})
         for part in ("queued", "running", "preempted", "timer_lag",
@@ -142,6 +158,16 @@ def check_telemetry(path):
             if part not in t:
                 fail(tpath, f"missing breakdown '{part}'")
             check_quantiles(t[part], f"{tpath}.{part}")
+
+    for tenant, t in spans["tenants"].items():
+        tpath = f"spans.tenants.{tenant}"
+        check_breakdown(t, tpath)
+        if "window" not in t:
+            fail(tpath, "missing sliding-window breakdown")
+        check_breakdown(t["window"], f"{tpath}.window")
+        if t["window"]["completed"] > t["completed"]:
+            fail(f"{tpath}.window",
+                 "window completed exceeds lifetime completed")
     print(f"{path}: telemetry snapshot OK (seq={snap['seq']}, "
           f"{len(snap['counters'])} counters, "
           f"{len(snap['gauges'])} gauges, "
@@ -152,12 +178,12 @@ def check_telemetry(path):
 def check_spans(path):
     with open(path) as f:
         doc = json.load(f)
-    expect(doc, "", {"schema": str, "spans": int,
+    expect(doc, "", {"schema": str, "spans": int, "window_us": int,
                      "invariant_violations": int, "slo_violations": int,
                      "anomalies": dict, "tenants": dict})
-    if doc["schema"] != "preempt.spans.v1":
+    if doc["schema"] != "preempt.spans.v2":
         fail("schema",
-             f"expected preempt.spans.v1, got '{doc['schema']}'")
+             f"expected preempt.spans.v2, got '{doc['schema']}'")
     expect(doc["anomalies"], "anomalies",
            {"orphan_events": int, "clamped_times": int,
             "reopened_tasks": int, "dangling_spans": int})
@@ -169,12 +195,23 @@ def check_spans(path):
     for tenant, t in doc["tenants"].items():
         tpath = f"tenants.{tenant}"
         expect(t, tpath, {"completed": int, "cancelled": int,
-                          "violations": int})
+                          "violations": int, "window": dict})
         for part in ("queued", "running", "preempted", "timer_lag",
                      "total"):
             if part not in t:
                 fail(tpath, f"missing breakdown '{part}'")
             check_quantiles(t[part], f"{tpath}.{part}")
+        w = t["window"]
+        wpath = f"{tpath}.window"
+        expect(w, wpath, {"completed": int, "cancelled": int,
+                          "violations": int})
+        for part in ("queued", "running", "preempted", "timer_lag",
+                     "total"):
+            if part not in w:
+                fail(wpath, f"missing breakdown '{part}'")
+            check_quantiles(w[part], f"{wpath}.{part}")
+        if w["completed"] > t["completed"]:
+            fail(wpath, "window completed exceeds lifetime completed")
         total += t["completed"] + t["cancelled"]
     if total != doc["spans"]:
         fail("tenants", f"per-tenant spans sum to {total}, "

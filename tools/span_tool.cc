@@ -4,14 +4,19 @@
  * file, folds the task-lifecycle records back into TaskSpans
  * (obs/spans.hh), verifies the exact scheduler-delay decomposition,
  * and prints a per-tenant delay-attribution table; --json writes the
- * same breakdown as machine-readable JSON ("preempt.spans.v1",
- * validated by tools/check_bench_json.py --spans).
+ * same breakdown as machine-readable JSON ("preempt.spans.v2",
+ * validated by tools/check_bench_json.py --spans). --window-us=N
+ * additionally restricts a "window" copy of every per-tenant block to
+ * the spans that finished in the last N us of the trace (anchored at
+ * the latest span end), mirroring the live publisher's sliding-window
+ * series; without the flag the window covers the whole trace.
  *
  * The parser targets this repository's own exporter output
  * (obs/export.cc): one event object per line, fixed key order. It is
  * not a general Chrome-trace reader.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <locale>
@@ -149,10 +154,12 @@ main(int argc, char **argv)
     std::string tracePath = cli.getString("trace", "");
     std::string jsonPath = cli.getString("json", "");
     std::int64_t sloUs = cli.getInt("slo-us", 0);
+    std::int64_t windowUs = cli.getInt("window-us", 0);
     bool perSpan = cli.getBool("spans", false);
     cli.rejectUnknown();
-    fatal_if(tracePath.empty(), "usage: span_tool --trace=FILE "
-                                "[--json=OUT] [--slo-us=N] [--spans]");
+    fatal_if(tracePath.empty(),
+             "usage: span_tool --trace=FILE [--json=OUT] [--slo-us=N] "
+             "[--window-us=N] [--spans]");
 
     std::vector<obs::TraceRecord> records = parseTrace(tracePath);
 
@@ -164,13 +171,27 @@ main(int argc, char **argv)
         sloUs > 0 ? static_cast<std::uint64_t>(
                         usToNs(static_cast<double>(sloUs)))
                   : 0;
+    // Window anchor: the latest span end. --window-us=0 keeps every
+    // span in the window, so "window" degenerates to the lifetime
+    // block (same shape, easy downstream handling).
+    std::uint64_t maxEnd = 0;
+    for (const obs::TaskSpan &s : spans)
+        maxEnd = std::max(maxEnd, s.endTs);
+    std::uint64_t windowNs =
+        windowUs > 0 ? static_cast<std::uint64_t>(
+                           usToNs(static_cast<double>(windowUs)))
+                     : 0;
+    std::uint64_t windowStart =
+        windowNs != 0 && maxEnd > windowNs ? maxEnd - windowNs : 0;
+
     std::uint64_t violations = 0;
     std::map<std::uint32_t, obs::SpanCollector::TenantStats> tenants;
-    for (const obs::TaskSpan &s : spans) {
-        auto &t = tenants[s.tenant];
+    std::map<std::uint32_t, obs::SpanCollector::TenantStats> windowed;
+    auto fold = [&](obs::SpanCollector::TenantStats &t,
+                    const obs::TaskSpan &s, bool countSlo) {
         if (!s.completed) {
             ++t.cancelled;
-            continue;
+            return;
         }
         ++t.completed;
         t.queued.record(s.breakdown.queuedNs);
@@ -180,8 +201,14 @@ main(int argc, char **argv)
         t.total.record(s.latencyNs());
         if (sloNs != 0 && s.latencyNs() > sloNs) {
             ++t.violations;
-            ++violations;
+            if (countSlo)
+                ++violations;
         }
+    };
+    for (const obs::TaskSpan &s : spans) {
+        fold(tenants[s.tenant], s, true);
+        if (s.endTs >= windowStart)
+            fold(windowed[s.tenant], s, false);
     }
     std::uint64_t invariantViolations = 0;
     for (const obs::TaskSpan &s : spans)
@@ -231,8 +258,9 @@ main(int argc, char **argv)
     if (!jsonPath.empty()) {
         std::ostringstream os;
         os.imbue(std::locale::classic());
-        os << "{\n  \"schema\": \"preempt.spans.v1\",\n";
+        os << "{\n  \"schema\": \"preempt.spans.v2\",\n";
         os << "  \"spans\": " << spans.size() << ",\n";
+        os << "  \"window_us\": " << windowUs << ",\n";
         os << "  \"invariant_violations\": " << invariantViolations
            << ",\n";
         os << "  \"slo_violations\": " << violations << ",\n";
@@ -259,7 +287,16 @@ main(int argc, char **argv)
             field("preempted", t.preempted);
             field("timer_lag", t.timerLag);
             field("total", t.total);
-            os << "}";
+            const auto &w = windowed[tenant];
+            os << ", \"window\": {\"completed\": " << w.completed
+               << ", \"cancelled\": " << w.cancelled
+               << ", \"violations\": " << w.violations;
+            field("queued", w.queued);
+            field("running", w.running);
+            field("preempted", w.preempted);
+            field("timer_lag", w.timerLag);
+            field("total", w.total);
+            os << "}}";
             first = false;
         }
         os << (first ? "}\n" : "\n  }\n") << "}\n";
