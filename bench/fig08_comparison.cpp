@@ -17,10 +17,12 @@
 
 #include <cstdio>
 #include <iterator>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "obs/session.hh"
 #include "fault/fault.hh"
 #include "common/dist.hh"
@@ -57,9 +59,16 @@ main(int argc, char **argv)
     obs::Session obsSession(cli);
     fault::Session faultSession(cli);
     TimeNs duration = msToNs(cli.getDouble("duration-ms", 250));
+    // This figure never gates submission; the flag exists so CI can
+    // assert the off leg is byte-identical to the default run (the
+    // admission plane must be invisible when disabled).
+    std::string admission = cli.getString("admission", "off");
     exp::Harness harness =
         preempt::bench::makeHarness(cli, obsSession, &faultSession);
     cli.rejectUnknown();
+    fatal_if(admission != "off",
+             "fig08 supports only --admission=off (see fig_admission "
+             "for the gated sweep)");
 
     struct Wl
     {

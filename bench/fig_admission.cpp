@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Admission-control overload sweep: the paper-style "LC p99 stays
+ * flat while BE throughput degrades gracefully" curve, with the
+ * span-driven admission plane (src/control/) on vs off.
+ *
+ * Workload: one worker, centralized-FCFS semantics (RoundRobin
+ * policy, 5 us quantum), 80% latency-critical requests (~4 us median
+ * service) colocated with 20% best-effort requests (~80 us median).
+ * Offered load sweeps from well below to ~2x the worker's capacity
+ * (~45 kRPS effective).
+ *
+ * Off leg: under overload the FCFS backlog grows without bound and
+ * the LC tail explodes with it. On leg: the admission tick sees the
+ * backlog (in-flight depth, per-tick queued p99, violation ratio),
+ * throttles BE at an adaptive duty cycle, and the LC tail stays
+ * bounded while admitted-BE throughput declines gently — no cliff.
+ *
+ * --out writes the fig_admission JSON (checked in as
+ * BENCH_admission.json); tools/check_bench_json.py --admission gates
+ * its schema, and --strict additionally enforces the acceptance
+ * numbers (LC p99 off/on >= 5x on every overloaded point, monotone
+ * admitted-BE degradation).
+ *
+ * Cells run through exp::Harness: --jobs=8 output is byte-identical
+ * to --jobs=1 (the admission tick is simulated-publisher-driven —
+ * zero clock reads, zero RNG draws).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <locale>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "control/admission.hh"
+#include "obs/session.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "workload/generator.hh"
+
+using namespace preempt;
+
+namespace {
+
+/** Offered loads (kRPS); the tail of the sweep is past capacity. */
+const std::vector<double> kLoadsK{15, 25, 35, 45, 60, 75, 90};
+
+/** First index of the overloaded region (>= ~1.3x capacity). */
+constexpr std::size_t kOverloadFrom = 4;
+
+struct Outcome
+{
+    TimeNs lcP99 = 0;          ///< post-warmup LC p99
+    std::uint64_t lcDone = 0;  ///< LC completions in the window
+    std::uint64_t beDone = 0;  ///< BE completions in the window
+    double beRps = 0;          ///< admitted-BE throughput
+    std::uint64_t rejectedLc = 0;
+    std::uint64_t rejectedBe = 0;
+    std::string state = "admit"; ///< final policy state
+};
+
+Outcome
+run(double rps, bool admissionOn, TimeNs duration, TimeNs warmup)
+{
+    sim::Simulator sim(42);
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = 1;
+    rc.quantum = usToNs(5);
+    // RoundRobin = centralized-FCFS semantics: LC waits behind the
+    // whole backlog, so unshed overload shows in the LC tail.
+    rc.policy = runtime_sim::SchedPolicy::RoundRobin;
+    if (admissionOn) {
+        rc.admission.enabled = true;
+        rc.admission.tickPeriod = msToNs(5);
+        rc.admission.sloNs = msToNs(1);
+        rc.admission.params.queuedHighNs = usToNs(1000);
+        rc.admission.params.queuedLowNs = usToNs(150);
+        rc.admission.params.depthHigh = 48;
+        rc.admission.params.depthLow = 12;
+    }
+
+    // Post-warmup window accounting via the completion hook: the
+    // transient while the policy walks to its duty equilibrium is
+    // excluded from both legs identically.
+    LatencyHistogram lcPost;
+    std::uint64_t lcDone = 0;
+    std::uint64_t beDone = 0;
+    rc.completionHook = [&](TimeNs now, const workload::Request &r) {
+        if (now < warmup || now > duration)
+            return;
+        if (r.cls == workload::RequestClass::BestEffort) {
+            ++beDone;
+        } else {
+            ++lcDone;
+            lcPost.record(r.latency());
+        }
+    };
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+
+    workload::WorkloadSpec spec{
+        workload::ServiceLaw(std::make_shared<LogNormalDist>(4000.0, 0.6)),
+        workload::RateLaw::constant(rps), duration};
+    spec.beFraction = 0.2;
+    spec.beService = std::make_shared<workload::ServiceLaw>(
+        std::make_shared<LogNormalDist>(80e3, 0.25));
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server.onArrival(r);
+                                    });
+    gen.start();
+    sim.runUntil(duration + msToNs(200));
+
+    Outcome o;
+    o.lcP99 = lcPost.p99();
+    o.lcDone = lcDone;
+    o.beDone = beDone;
+    o.beRps = static_cast<double>(beDone) / nsToSec(duration - warmup);
+    o.rejectedLc = server.metrics().rejectedLc();
+    o.rejectedBe = server.metrics().rejectedBe();
+    if (const control::AdmissionController *ac =
+            server.admissionController())
+        o.state = control::stateName(ac->tenantStats(0).state);
+    return o;
+}
+
+std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.precision(3);
+    os << std::fixed << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli(argc, argv);
+    obs::Session obsSession(cli);
+    TimeNs duration = msToNs(cli.getDouble("duration-ms", 300));
+    TimeNs warmup = msToNs(cli.getDouble("warmup-ms", 100));
+    std::string mode = cli.getString("admission", "both");
+    std::string out = cli.getString("out", "");
+    // CI live-scrape hook: the harness merges per-cell metrics after
+    // the fan-out, so the control.* series reach --stats-port only
+    // once the sweep is done; holding keeps /metrics serving them.
+    double holdMs = cli.getDouble("hold-ms", 0);
+    exp::Harness harness = bench::makeHarness(cli, obsSession);
+    cli.rejectUnknown();
+    fatal_if(warmup >= duration,
+             "--warmup-ms must be below --duration-ms");
+    fatal_if(mode != "both" && mode != "on" && mode != "off",
+             "--admission must be both|on|off");
+    fatal_if(!out.empty() && mode != "both",
+             "--out needs both legs (--admission=both)");
+
+    // Cells in sequential order: per load, the requested leg(s) with
+    // off before on.
+    std::vector<std::pair<double, bool>> cells; // (rps, admissionOn)
+    for (double k : kLoadsK) {
+        if (mode != "on")
+            cells.emplace_back(k * 1e3, false);
+        if (mode != "off")
+            cells.emplace_back(k * 1e3, true);
+    }
+    std::vector<Outcome> outs = harness.map<Outcome>(
+        cells.size(), [&](const exp::CellEnv &env) {
+            return run(cells[env.index].first, cells[env.index].second,
+                       duration, warmup);
+        });
+
+    ConsoleTable table("fig_admission: overload sweep, admission " +
+                       mode + " (post-warmup window)");
+    if (mode == "both") {
+        table.header({"load (kRPS)", "LC p99 off", "LC p99 on",
+                      "off/on", "BE rps off", "BE rps on",
+                      "rejected on", "state"});
+        for (std::size_t i = 0; i < kLoadsK.size(); ++i) {
+            const Outcome &off = outs[i * 2];
+            const Outcome &on = outs[i * 2 + 1];
+            double ratio =
+                on.lcP99 == 0 ? 0
+                              : static_cast<double>(off.lcP99) /
+                                    static_cast<double>(on.lcP99);
+            table.row({ConsoleTable::num(kLoadsK[i], 0),
+                       bench::fmtUs(off.lcP99), bench::fmtUs(on.lcP99),
+                       ConsoleTable::num(ratio, 1) + "x",
+                       ConsoleTable::num(off.beRps, 0),
+                       ConsoleTable::num(on.beRps, 0),
+                       std::to_string(on.rejectedLc + on.rejectedBe),
+                       on.state});
+        }
+    } else {
+        table.header({"load (kRPS)", "LC p99", "BE rps", "rejected",
+                      "state"});
+        for (std::size_t i = 0; i < kLoadsK.size(); ++i) {
+            const Outcome &o = outs[i];
+            table.row({ConsoleTable::num(kLoadsK[i], 0),
+                       bench::fmtUs(o.lcP99),
+                       ConsoleTable::num(o.beRps, 0),
+                       std::to_string(o.rejectedLc + o.rejectedBe),
+                       o.state});
+        }
+    }
+    table.print();
+
+    if (mode != "both") {
+        if (holdMs > 0)
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                                        std::milli>(holdMs));
+        return 0;
+    }
+
+    // Headline figures over the overloaded region: the worst LC
+    // off/on ratio, and whether admitted-BE throughput only ever
+    // degrades (5% tolerance) down to a sane floor.
+    double minRatio = 0;
+    bool beMonotone = true;
+    double beKnee = 0;
+    double beFloor = 0;
+    for (std::size_t i = 0; i < kLoadsK.size(); ++i)
+        beKnee = std::max(beKnee, outs[i * 2 + 1].beRps);
+    for (std::size_t i = kOverloadFrom; i < kLoadsK.size(); ++i) {
+        const Outcome &off = outs[i * 2];
+        const Outcome &on = outs[i * 2 + 1];
+        double ratio = on.lcP99 == 0
+                           ? 0
+                           : static_cast<double>(off.lcP99) /
+                                 static_cast<double>(on.lcP99);
+        if (minRatio == 0 || ratio < minRatio)
+            minRatio = ratio;
+        if (i > kOverloadFrom &&
+            on.beRps > outs[i * 2 - 1].beRps * 1.05)
+            beMonotone = false;
+        if (beFloor == 0 || on.beRps < beFloor)
+            beFloor = on.beRps;
+    }
+    double beFloorRatio = beKnee > 0 ? beFloor / beKnee : 0;
+    std::printf("\noverloaded region (>= %.0f kRPS): LC p99 off/on "
+                ">= %.1fx, admitted-BE floor %.0f rps (%.2fx of the "
+                "knee), monotone degradation: %s\n",
+                kLoadsK[kOverloadFrom], minRatio, beFloor, beFloorRatio,
+                beMonotone ? "yes" : "no");
+
+    if (!out.empty()) {
+        std::ofstream os(out);
+        fatal_if(!os, "cannot write %s", out.c_str());
+        os.imbue(std::locale::classic());
+        os << "{\n"
+           << "  \"bench\": \"fig_admission\",\n"
+           << "  \"unit\": \"nanoseconds_p99\",\n"
+           << "  \"duration_ms\": " << jsonNum(nsToMs(duration)) << ",\n"
+           << "  \"warmup_ms\": " << jsonNum(nsToMs(warmup)) << ",\n"
+           << "  \"overload_from_krps\": "
+           << jsonNum(kLoadsK[kOverloadFrom]) << ",\n"
+           << "  \"lc_p99_min_off_on_ratio\": " << jsonNum(minRatio)
+           << ",\n"
+           << "  \"be_admitted_monotone\": "
+           << (beMonotone ? "true" : "false") << ",\n"
+           << "  \"be_floor_of_knee_ratio\": " << jsonNum(beFloorRatio)
+           << ",\n"
+           << "  \"results\": [\n";
+        for (std::size_t i = 0; i < kLoadsK.size(); ++i) {
+            const Outcome &off = outs[i * 2];
+            const Outcome &on = outs[i * 2 + 1];
+            os << "    {\"krps\": " << jsonNum(kLoadsK[i])
+               << ", \"lc_p99_off_ns\": " << off.lcP99
+               << ", \"lc_p99_on_ns\": " << on.lcP99
+               << ", \"be_rps_off\": " << jsonNum(off.beRps)
+               << ", \"be_rps_on\": " << jsonNum(on.beRps)
+               << ", \"rejected_lc\": " << on.rejectedLc
+               << ", \"rejected_be\": " << on.rejectedBe
+               << ", \"state\": \"" << on.state << "\"}"
+               << (i + 1 < kLoadsK.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n"
+           << "}\n";
+        std::printf("wrote %s\n", out.c_str());
+    }
+    if (holdMs > 0)
+        std::this_thread::sleep_for(std::chrono::duration<double,
+                                    std::milli>(holdMs));
+    return 0;
+}

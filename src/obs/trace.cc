@@ -44,6 +44,7 @@ kindName(EventKind kind)
       case EventKind::FaultRecover:        return "fault_recover";
       case EventKind::TaskMigrate:         return "task_migrate";
       case EventKind::TaskSubmit:          return "task_submit";
+      case EventKind::TaskReject:          return "task_reject";
       case EventKind::kCount:              break;
     }
     return "unknown";

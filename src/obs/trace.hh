@@ -100,6 +100,12 @@ enum class EventKind : std::uint16_t
                             ///< a0 = class, a1 = tenant. Span builders
                             ///< measure end-to-end latency from here.
 
+    // admission control (PR 10)
+    TaskReject = 23,        ///< submission rejected (admission policy
+                            ///< or full-inbox backpressure); id = task,
+                            ///< a0 = class, a1 = tenant. Not a
+                            ///< lifecycle kind: no span is opened.
+
     kCount
 };
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "control/admission.hh"
 #include "obs/metrics.hh"
 #include "obs/spans.hh"
 #include "obs/telemetry.hh"
@@ -90,6 +91,18 @@ PreemptibleRuntime::submitTo(int worker, std::function<void()> body,
     fatal_if(stopping_.load(), "submit after shutdown");
     fatal_if(worker < 0 || worker >= options_.nWorkers,
              "submitTo target out of range");
+    if (options_.admission &&
+        !options_.admission->decide(options_.tenant, cls)) {
+        // Policy rejection: first-class and before any task state
+        // exists — no TaskSubmit span is opened, so span accounting
+        // only ever sees admitted work.
+        rejectedPolicy_.fetch_add(1, std::memory_order_relaxed);
+        obs::emit(obs::EventKind::TaskReject,
+                  static_cast<std::uint32_t>(worker), hostNowNs(),
+                  g_nextTaskId.fetch_add(1, std::memory_order_relaxed),
+                  static_cast<std::uint64_t>(cls), options_.tenant);
+        return false;
+    }
     WorkerState &w = *workers_[static_cast<std::size_t>(worker)];
     auto task = std::make_unique<TaskRecord>();
     task->body = std::move(body);
@@ -129,6 +142,14 @@ PreemptibleRuntime::submitTo(int worker, std::function<void()> body,
         obs::emitSpan(obs::EventKind::CancelRequest,
                       static_cast<std::uint32_t>(worker), hostNowNs(),
                       task->id);
+        // Full-inbox backpressure is observable, never silent: a
+        // first-class reject record plus a counter callers can poll.
+        rejectedFull_.fetch_add(1, std::memory_order_relaxed);
+        obs::addCount("runtime.submit.rejected_full");
+        obs::emit(obs::EventKind::TaskReject,
+                  static_cast<std::uint32_t>(worker), hostNowNs(),
+                  task->id, static_cast<std::uint64_t>(cls),
+                  options_.tenant);
         return false;
     }
     task.release(); // ownership passed to the worker
@@ -438,6 +459,8 @@ PreemptibleRuntime::stats() const
     RuntimeStats s;
     s.submitted = submitted_.load();
     s.completed = completed_.load();
+    s.rejectedFull = rejectedFull_.load();
+    s.rejectedPolicy = rejectedPolicy_.load();
     s.preemptions = preemptions_.load();
     s.stealAttempts = stealAttempts_.load();
     s.stealHits = stealHits_.load();
@@ -520,6 +543,10 @@ PreemptibleRuntime::sampleTelemetry(obs::MetricsRegistry &r)
     };
     bump(prefix + ".submitted", submitted_.load(), publishedSubmitted_);
     bump(prefix + ".completed", completed_.load(), publishedCompleted_);
+    bump(prefix + ".rejected_full", rejectedFull_.load(),
+         publishedRejectedFull_);
+    bump(prefix + ".rejected_policy", rejectedPolicy_.load(),
+         publishedRejectedPolicy_);
     bump(prefix + ".preempted", preemptions_.load(),
          publishedPreemptions_);
     bump(prefix + ".timer.fires", timer_.firesTotal(),

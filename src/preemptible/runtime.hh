@@ -52,6 +52,10 @@ namespace preempt::obs {
 class MetricsRegistry;
 } // namespace preempt::obs
 
+namespace preempt::control {
+class AdmissionController;
+} // namespace preempt::control
+
 namespace preempt::runtime {
 
 /** A unit of work submitted to the runtime. */
@@ -78,6 +82,8 @@ struct RuntimeStats
 {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
+    std::uint64_t rejectedFull = 0;   ///< submits refused: inbox full
+    std::uint64_t rejectedPolicy = 0; ///< submits refused: admission
     std::uint64_t preemptions = 0;
     std::uint64_t staleSignals = 0;
     std::uint64_t stealAttempts = 0; ///< steal rounds tried
@@ -149,6 +155,15 @@ class PreemptibleRuntime
          * the span collector attributes scheduler delay per tenant.
          */
         std::uint32_t tenant = 0;
+
+        /**
+         * Admission controller gating every submit (may be shared by
+         * colocated runtimes — it keeps per-tenant state). A rejected
+         * submission returns false before any task state is created,
+         * emits a TaskReject trace record and counts in
+         * RuntimeStats::rejectedPolicy. nullptr = no gating.
+         */
+        std::shared_ptr<control::AdmissionController> admission;
     };
 
     explicit PreemptibleRuntime(Options options);
@@ -272,6 +287,8 @@ class PreemptibleRuntime
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> rejectedFull_{0};
+    std::atomic<std::uint64_t> rejectedPolicy_{0};
     std::atomic<std::uint64_t> preemptions_{0};
     std::atomic<std::uint64_t> inFlight_{0};
     std::atomic<std::uint64_t> rrNext_{0};
@@ -290,6 +307,8 @@ class PreemptibleRuntime
     // sampler pass adds only the delta (publisher thread only).
     std::uint64_t publishedSubmitted_ = 0;
     std::uint64_t publishedCompleted_ = 0;
+    std::uint64_t publishedRejectedFull_ = 0;
+    std::uint64_t publishedRejectedPolicy_ = 0;
     std::uint64_t publishedPreemptions_ = 0;
     std::uint64_t publishedTimerFires_ = 0;
     std::uint64_t publishedWheelFires_ = 0;

@@ -55,12 +55,27 @@ LibPreemptibleSim::LibPreemptibleSim(sim::Simulator &sim,
             config_.controllerParams.period,
             [this](TimeNs now) { controllerStep(now); });
     }
+
+    if (config_.admission.enabled) {
+        fatal_if(config_.admission.tickPeriod <= 0,
+                 "admission tick period must be positive");
+        admission_ = std::make_unique<control::AdmissionController>(
+            config_.admission.params);
+        // The simulated publisher tick: the only event source the
+        // policy adds. With admission off nothing is scheduled, so
+        // the off leg's event schedule is untouched.
+        cancelAdmissionTick_ = sim_.every(
+            config_.admission.tickPeriod,
+            [this](TimeNs now) { admissionTick(now); });
+    }
 }
 
 LibPreemptibleSim::~LibPreemptibleSim()
 {
     if (cancelController_)
         cancelController_();
+    if (cancelAdmissionTick_)
+        cancelAdmissionTick_();
 }
 
 std::string
@@ -78,8 +93,19 @@ void
 LibPreemptibleSim::onArrival(Request &req)
 {
     metrics_.onArrival(req);
-    ++admitted_;
     TimeNs now = sim_.now();
+    if (admission_ &&
+        !admission_->decide(config_.tenant,
+                            req.cls == RequestClass::BestEffort ? 1
+                                                                : 0)) {
+        // Rejected before dispatch: no span opens, no event is
+        // scheduled — the request simply never enters the system.
+        metrics_.onRejection(req);
+        obs::emit(obs::EventKind::TaskReject, 0, now, req.id,
+                  static_cast<std::uint64_t>(req.cls), config_.tenant);
+        return;
+    }
+    ++admitted_;
     // Span anchor at the arrival instant: span total == req.latency()
     // exactly (both measure completion - arrival on the sim clock).
     obs::emitSpan(obs::EventKind::TaskSubmit, 0, now, req.id,
@@ -224,6 +250,12 @@ LibPreemptibleSim::pickNext(Worker &w, TimeNs now)
                           req->id, now - req->arrival);
             obs::addCount("libpreemptible.cancellations");
             metrics_.onCancellation(*req);
+            if (admission_) {
+                // A cancelled request is a finished SLO violation for
+                // the pressure signal.
+                ++tickFinished_;
+                ++tickViolations_;
+            }
             req = nullptr;
             fresh = true;
             if (config_.centralQueue) {
@@ -248,8 +280,12 @@ LibPreemptibleSim::startSegment(Worker &w, Request &req, TimeNs now,
 {
     w.current = &req;
     ++w.segGen;
-    if (req.firstStart == kTimeNever)
+    if (req.firstStart == kTimeNever) {
         req.firstStart = now;
+        if (admission_)
+            tickQueued_.record(now >= req.arrival ? now - req.arrival
+                                                  : 0);
+    }
     if (fresh)
         ++w.launches;
     else
@@ -381,6 +417,12 @@ LibPreemptibleSim::onCompletion(Worker &w, TimeNs now)
                             req->latency());
     metrics_.onCompletion(*req);
     statsWindow_.onCompletion(now, req->latency(), req->service);
+    if (admission_) {
+        ++tickFinished_;
+        if (config_.admission.sloNs != 0 &&
+            req->latency() > config_.admission.sloNs)
+            ++tickViolations_;
+    }
     if (config_.completionHook)
         config_.completionHook(now, *req);
 
@@ -505,6 +547,29 @@ LibPreemptibleSim::controllerStep(TimeNs now)
                   static_cast<std::int64_t>(quantum_));
     if (config_.quantumHook)
         config_.quantumHook(now, quantum_);
+}
+
+void
+LibPreemptibleSim::admissionTick(TimeNs now)
+{
+    (void)now;
+    // Signals from simulator state only (no clocks, no RNG): the
+    // deterministic analogue of the real runtime's snapshot poll.
+    control::AdmissionSignals s;
+    s.fresh = true;
+    s.queuedP99Ns = tickQueued_.count() != 0 ? tickQueued_.p99() : 0;
+    s.violationRatio =
+        tickFinished_ == 0
+            ? 0.0
+            : static_cast<double>(tickViolations_) /
+                  static_cast<double>(tickFinished_);
+    s.depth = static_cast<std::int64_t>(inFlight());
+    admission_->onTick(config_.tenant, s);
+    if (obs::MetricsRegistry *m = obs::metricsRegistry())
+        admission_->exportMetrics(*m);
+    tickQueued_.reset();
+    tickFinished_ = 0;
+    tickViolations_ = 0;
 }
 
 } // namespace preempt::runtime_sim

@@ -21,9 +21,11 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/stats.hh"
+#include "control/admission.hh"
 #include "hw/latency_config.hh"
 #include "hw/machine.hh"
 #include "core/quantum_controller.hh"
@@ -107,6 +109,29 @@ struct LibPreemptibleConfig
      *  sim instances share one trace (bench/scalability_tenants). */
     std::uint32_t tenant = 0;
 
+    /**
+     * Span-driven admission control (src/control/). When enabled the
+     * sim owns an AdmissionController and steps it on simulated
+     * publisher ticks: the tick signals (per-tick queued-time p99,
+     * violation ratio, in-flight depth) come from simulator state
+     * only — zero clock reads, zero RNG draws — so same-seed runs
+     * stay byte-identical, and disabling it schedules no events at
+     * all (the off leg is byte-identical to a build without it).
+     */
+    struct Admission
+    {
+        bool enabled = false;
+        control::AdmissionParams params;
+
+        /** Simulated publisher tick period (policy step cadence). */
+        TimeNs tickPeriod = msToNs(5);
+
+        /** Completion latency above this counts toward the
+         *  violation-ratio signal (0 = signal disabled). */
+        TimeNs sloNs = 0;
+    };
+    Admission admission;
+
     /** Optional per-completion hook (time-series benches). */
     std::function<void(TimeNs, const workload::Request &)> completionHook;
 
@@ -154,6 +179,12 @@ class LibPreemptibleSim : public ServerModel
     std::uint64_t watchdogRecoveries() const
     {
         return watchdogRecoveries_;
+    }
+
+    /** The admission controller, or nullptr when disabled. */
+    const control::AdmissionController *admissionController() const
+    {
+        return admission_.get();
     }
 
   private:
@@ -213,6 +244,10 @@ class LibPreemptibleSim : public ServerModel
     /** One Algorithm 1 control step. */
     void controllerStep(TimeNs now);
 
+    /** One simulated-publisher admission tick: derive this tick's
+     *  signals from sim state, step the policy, reset accumulators. */
+    void admissionTick(TimeNs now);
+
     sim::Simulator &sim_;
     hw::LatencyConfig cfg_;
     LibPreemptibleConfig config_;
@@ -233,6 +268,14 @@ class LibPreemptibleSim : public ServerModel
     std::uint64_t finished_;
     std::uint64_t watchdogRecoveries_ = 0;
     int rrCursor_;
+
+    // Admission control (config_.admission.enabled): controller plus
+    // per-tick signal accumulators, reset on every admission tick.
+    std::unique_ptr<control::AdmissionController> admission_;
+    std::function<void()> cancelAdmissionTick_;
+    LatencyHistogram tickQueued_;       ///< queued time of first starts
+    std::uint64_t tickFinished_ = 0;    ///< completions + cancellations
+    std::uint64_t tickViolations_ = 0;  ///< finishes past admission.sloNs
 };
 
 } // namespace preempt::runtime_sim

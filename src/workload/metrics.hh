@@ -40,6 +40,14 @@ class RunMetrics
     /** Record a cancelled (SLO-hopeless, dropped) request. */
     void onCancellation(const Request &) { ++cancelled_; }
 
+    /** Record a request rejected at admission (never dispatched). */
+    void
+    onRejection(const Request &req)
+    {
+        ++(req.cls == RequestClass::BestEffort ? rejectedBe_
+                                               : rejectedLc_);
+    }
+
     /** Account pure preemption overhead CPU time. */
     void addPreemptionOverhead(TimeNs t) { preemptionOverheadNs_ += t; }
 
@@ -53,6 +61,9 @@ class RunMetrics
     std::uint64_t completed() const { return completed_; }
     std::uint64_t arrived() const { return arrived_; }
     std::uint64_t cancelled() const { return cancelled_; }
+    std::uint64_t rejected() const { return rejectedLc_ + rejectedBe_; }
+    std::uint64_t rejectedLc() const { return rejectedLc_; }
+    std::uint64_t rejectedBe() const { return rejectedBe_; }
     std::uint64_t totalPreemptions() const { return totalPreemptions_; }
     TimeNs preemptionOverheadNs() const { return preemptionOverheadNs_; }
     TimeNs executionNs() const { return executionNs_; }
@@ -85,6 +96,8 @@ class RunMetrics
         completed_ = 0;
         arrived_ = 0;
         cancelled_ = 0;
+        rejectedLc_ = 0;
+        rejectedBe_ = 0;
         totalPreemptions_ = 0;
         preemptionOverheadNs_ = 0;
         executionNs_ = 0;
@@ -97,6 +110,8 @@ class RunMetrics
     std::uint64_t completed_ = 0;
     std::uint64_t arrived_ = 0;
     std::uint64_t cancelled_ = 0;
+    std::uint64_t rejectedLc_ = 0;
+    std::uint64_t rejectedBe_ = 0;
     std::uint64_t totalPreemptions_ = 0;
     TimeNs preemptionOverheadNs_ = 0;
     TimeNs executionNs_ = 0;

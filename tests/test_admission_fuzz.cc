@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Invariant fuzzing of the admission state machine (the satellite
+ * harness next to tests/test_fault_fuzz.cc): hundreds of seeded
+ * random overload/recovery schedules against random parameter sets,
+ * checked for
+ *
+ *   - exact conservation: submitted == admitted + rejected, per class,
+ *     with the test's own tally of decide() return values;
+ *   - monotone severity: no tick window may both reject an LC request
+ *     and admit a BE request;
+ *   - hysteresis no-flap: stateChanges is bounded by
+ *     ticks / min(escalateAfter, relaxAfter) + 1;
+ *   - fail-open: a long stale/unfresh tail always ends at ADMIT.
+ *
+ * Every assertion message carries the seed and the parameter set, so
+ * any failure reproduces from its log line alone. A second suite runs
+ * the full simulated runtime with admission enabled under random
+ * overload and checks end-to-end conservation of every arrival.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hh"
+#include "control/admission.hh"
+#include "runtime_sim/libpreemptible_sim.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+
+namespace preempt::control {
+namespace {
+
+/** Random but always-valid parameter set (low <= high everywhere). */
+AdmissionParams
+randomParams(Rng &pick)
+{
+    AdmissionParams p;
+    p.queuedLowNs = pick.below(500000);
+    p.queuedHighNs = p.queuedLowNs + 1 + pick.below(2000000);
+    p.violationLow = 0.3 * pick.uniform();
+    p.violationHigh = p.violationLow + 0.01 + 0.6 * pick.uniform();
+    p.depthLow = pick.below(32);
+    p.depthHigh = p.depthLow + 1 + pick.below(96);
+    p.escalateAfter = 1 + static_cast<int>(pick.below(4));
+    p.relaxAfter = 1 + static_cast<int>(pick.below(5));
+    p.dutySteps = 4 + pick.below(13);
+    p.lcTrickle = 8 + pick.below(121);
+    return p;
+}
+
+std::string
+paramStr(const AdmissionParams &p)
+{
+    std::ostringstream os;
+    os << "qLow=" << p.queuedLowNs << " qHigh=" << p.queuedHighNs
+       << " vLow=" << p.violationLow << " vHigh=" << p.violationHigh
+       << " dLow=" << p.depthLow << " dHigh=" << p.depthHigh
+       << " esc=" << p.escalateAfter << " relax=" << p.relaxAfter
+       << " duty=" << p.dutySteps << " trickle=" << p.lcTrickle;
+    return os.str();
+}
+
+/** One random tick's signals for the current regime. */
+AdmissionSignals
+regimeSignals(Rng &pick, const AdmissionParams &p, int regime)
+{
+    AdmissionSignals s;
+    switch (regime) {
+    case 0: // overload: at least one signal at/over its high mark
+        switch (pick.below(3)) {
+        case 0:
+            s.queuedP99Ns = p.queuedHighNs + pick.below(1000000);
+            break;
+        case 1:
+            s.violationRatio =
+                std::min(1.0, p.violationHigh + pick.uniform());
+            break;
+        default:
+            s.depth = p.depthHigh + static_cast<std::int64_t>(
+                                        pick.below(64));
+            break;
+        }
+        break;
+    case 1: // recovery: everything at/below the low marks
+        s.queuedP99Ns = pick.below(static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(p.queuedLowNs + 1, 1u << 30)));
+        s.violationRatio = p.violationLow * pick.uniform();
+        s.depth = static_cast<std::int64_t>(pick.below(
+            static_cast<std::uint32_t>(p.depthLow + 1)));
+        break;
+    case 2: // stale telemetry: numbers lie, fresh says so
+        s = regimeSignals(pick, p, static_cast<int>(pick.below(2)));
+        s.fresh = false;
+        break;
+    default: // band attempt: between the marks where one exists
+        s.queuedP99Ns = p.queuedLowNs +
+                        (p.queuedHighNs - p.queuedLowNs) / 2;
+        s.depth = p.depthLow + (p.depthHigh - p.depthLow) / 2;
+        s.violationRatio = (p.violationLow + p.violationHigh) / 2;
+        break;
+    }
+    return s;
+}
+
+class PolicyFuzz : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PolicyFuzz, RandomSchedulesKeepEveryInvariant)
+{
+    std::uint64_t seed = GetParam();
+    Rng pick(seed);
+    AdmissionParams p = randomParams(pick);
+    std::string ctx =
+        "seed=" + std::to_string(seed) + " " + paramStr(p);
+    AdmissionController ac(p);
+
+    // Self-tallies of every decide() outcome, per class.
+    std::uint64_t subLc = 0, subBe = 0, admLc = 0, admBe = 0;
+
+    int regime = 0;
+    int ticks = 200 + static_cast<int>(pick.below(201));
+    for (int tick = 0; tick < ticks; ++tick) {
+        if (pick.below(8) == 0)
+            regime = static_cast<int>(pick.below(4));
+        ac.onTick(0, regimeSignals(pick, p, regime));
+
+        // A tick window: the state only moves on onTick, so whatever
+        // mix of submissions lands now must respect monotone severity.
+        bool lcRejected = false;
+        bool beAdmitted = false;
+        int n = static_cast<int>(pick.below(41));
+        for (int i = 0; i < n; ++i) {
+            bool lc = pick.below(2) == 0;
+            bool ok = ac.decide(0, lc ? 0 : 1);
+            (lc ? subLc : subBe) += 1;
+            if (ok)
+                (lc ? admLc : admBe) += 1;
+            lcRejected = lcRejected || (lc && !ok);
+            beAdmitted = beAdmitted || (!lc && ok);
+        }
+        ASSERT_FALSE(lcRejected && beAdmitted)
+            << ctx << " tick=" << tick
+            << " shed LC while admitting BE (severity not monotone)";
+    }
+
+    // Exact conservation against the controller's own books.
+    TenantAdmissionStats st = ac.tenantStats(0);
+    EXPECT_EQ(st.submittedLc, subLc) << ctx;
+    EXPECT_EQ(st.submittedBe, subBe) << ctx;
+    EXPECT_EQ(st.admittedLc, admLc) << ctx;
+    EXPECT_EQ(st.admittedBe, admBe) << ctx;
+    EXPECT_EQ(st.rejectedLc, subLc - admLc) << ctx;
+    EXPECT_EQ(st.rejectedBe, subBe - admBe) << ctx;
+    EXPECT_EQ(st.submitted(), st.admitted() + st.rejected()) << ctx;
+    EXPECT_EQ(st.ticks, static_cast<std::uint64_t>(ticks)) << ctx;
+
+    // No-flap: hysteresis bounds how often the state may move.
+    std::uint64_t bound =
+        static_cast<std::uint64_t>(ticks) /
+            static_cast<std::uint64_t>(
+                std::min(p.escalateAfter, p.relaxAfter)) +
+        1;
+    EXPECT_LE(st.stateChanges, bound) << ctx << " state flapped";
+
+    // Fail-open tail: telemetry goes dark, the machine must walk all
+    // the way home regardless of where the schedule left it.
+    AdmissionSignals dark;
+    dark.fresh = false;
+    int home = (static_cast<int>(PolicyState::ShedLc) +
+                static_cast<int>(p.dutySteps)) *
+               (p.relaxAfter + 1);
+    for (int i = 0; i < home; ++i)
+        ac.onTick(0, dark);
+    EXPECT_EQ(ac.state(0), PolicyState::Admit)
+        << ctx << " stale telemetry wedged the gate shut";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyFuzz,
+                         testing::Range<std::uint64_t>(1, 451));
+
+// ----- full simulated runtime under random overload -----------------
+
+class SimAdmissionFuzz : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimAdmissionFuzz, EveryArrivalIsAdmittedAndFinishedOrRejected)
+{
+    std::uint64_t seed = GetParam();
+    Rng pick(seed * 2654435761ULL + 17);
+
+    sim::Simulator sim(seed);
+    hw::LatencyConfig cfg;
+    runtime_sim::LibPreemptibleConfig rc;
+    rc.nWorkers = 1 + static_cast<int>(pick.below(2));
+    rc.quantum = usToNs(2 + pick.below(19));
+    rc.policy = pick.below(2) == 0
+                    ? runtime_sim::SchedPolicy::RoundRobin
+                    : runtime_sim::SchedPolicy::NewFirst;
+    rc.admission.enabled = true;
+    rc.admission.tickPeriod = usToNs(500 + pick.below(4500));
+    rc.admission.sloNs = pick.below(2) == 0 ? 0 : msToNs(1);
+    rc.admission.params.depthLow = 4 + pick.below(12);
+    rc.admission.params.depthHigh =
+        rc.admission.params.depthLow + 8 + pick.below(56);
+    rc.admission.params.escalateAfter = 1 + static_cast<int>(
+                                                pick.below(3));
+    rc.admission.params.relaxAfter = 1 + static_cast<int>(
+                                             pick.below(4));
+    std::string ctx = "seed=" + std::to_string(seed) + " " +
+                      paramStr(rc.admission.params);
+    runtime_sim::LibPreemptibleSim server(sim, cfg, rc);
+
+    // Offered load 0.5x-3x of this service law's single-core capacity.
+    double meanUs = 20 + pick.uniform() * 30;
+    double capacity = 1e6 / meanUs * rc.nWorkers;
+    double rps = capacity * (0.5 + 2.5 * pick.uniform());
+    TimeNs duration = msToNs(30);
+    workload::WorkloadSpec spec{
+        workload::ServiceLaw(
+            std::make_shared<LogNormalDist>(meanUs * 1000.0, 0.5)),
+        workload::RateLaw::constant(rps), duration};
+    spec.beFraction = pick.uniform();
+    spec.beService = std::make_shared<workload::ServiceLaw>(
+        std::make_shared<LogNormalDist>(meanUs * 2000.0, 0.4));
+    workload::OpenLoopGenerator gen(sim, std::move(spec),
+                                    [&](workload::Request &r) {
+                                        server.onArrival(r);
+                                    });
+    gen.start();
+    sim.runUntil(duration + secToNs(10));
+
+    const workload::RunMetrics &m = server.metrics();
+    EXPECT_EQ(m.arrived(),
+              m.completed() + m.cancelled() + m.rejected())
+        << ctx;
+    EXPECT_EQ(server.inFlight(), 0u) << ctx;
+
+    ASSERT_NE(server.admissionController(), nullptr) << ctx;
+    TenantAdmissionStats ts =
+        server.admissionController()->tenantStats(0);
+    EXPECT_EQ(ts.submitted(), ts.admitted() + ts.rejected()) << ctx;
+    EXPECT_EQ(ts.submitted(), m.arrived()) << ctx;
+    EXPECT_EQ(ts.rejected(), m.rejected()) << ctx;
+    EXPECT_EQ(ts.rejectedLc, m.rejectedLc()) << ctx;
+    EXPECT_EQ(ts.rejectedBe, m.rejectedBe()) << ctx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimAdmissionFuzz,
+                         testing::Range<std::uint64_t>(1, 121));
+
+} // namespace
+} // namespace preempt::control

@@ -175,6 +175,7 @@ TEST(TraceGolden, KindCatalogValuesAndNamesAreStable)
         {EventKind::FaultRecover, "fault_recover"},
         {EventKind::TaskMigrate, "task_migrate"},
         {EventKind::TaskSubmit, "task_submit"},
+        {EventKind::TaskReject, "task_reject"},
     };
     std::uint16_t expected = 0;
     for (const auto &[kind, name] : kCatalog) {

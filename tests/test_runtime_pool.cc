@@ -141,6 +141,12 @@ TEST(Runtime, BackpressureWhenQueueFull)
     for (int i = 0; i < 64; ++i)
         accepted += rt.submit([] {}) ? 1 : 0;
     EXPECT_LT(accepted, 64) << "full ring must apply backpressure";
+    // Every refusal the caller saw must be observable in the stats:
+    // a full-inbox burst can be diagnosed after the fact.
+    RuntimeStats st = rt.stats();
+    EXPECT_GT(st.rejectedFull, 0u);
+    EXPECT_EQ(st.rejectedFull, static_cast<std::uint64_t>(64 - accepted));
+    EXPECT_EQ(st.rejectedPolicy, 0u) << "no admission policy installed";
     release.store(true);
     rt.quiesce();
     rt.shutdown();

@@ -20,9 +20,22 @@ Two schema-pinned modes validate the live-telemetry artifacts:
   --spans FILE       a tools/span_tool --json export
                      (schema "preempt.spans.v2")
 
+A third pinned mode validates the admission-control overload sweep:
+
+  --admission FILE [--strict]
+                     a bench/fig_admission --out file. Schema always;
+                     --strict (used on the checked-in
+                     BENCH_admission.json, i.e. a full-length run)
+                     additionally enforces the acceptance bars: LC p99
+                     with the policy ON at least 5x lower than OFF on
+                     every overloaded point, admitted-BE throughput
+                     degrading monotonically to a floor above 20% of
+                     its knee.
+
 Usage: check_bench_json.py GENERATED REFERENCE
        check_bench_json.py --telemetry FILE
        check_bench_json.py --spans FILE
+       check_bench_json.py --admission FILE [--strict]
 """
 
 import json
@@ -220,7 +233,74 @@ def check_spans(path):
           f"{len(doc['tenants'])} tenants, 0 invariant violations)")
 
 
+ADMISSION_STATES = ("admit", "throttle", "shed_be", "shed_lc")
+
+
+def check_admission(path, strict):
+    with open(path) as f:
+        doc = json.load(f)
+    expect(doc, "", {
+        "bench": str, "unit": str, "duration_ms": (int, float),
+        "warmup_ms": (int, float), "overload_from_krps": (int, float),
+        "lc_p99_min_off_on_ratio": (int, float),
+        "be_floor_of_knee_ratio": (int, float), "results": list,
+    })
+    if doc["bench"] != "fig_admission":
+        fail("bench", f"expected fig_admission, got '{doc['bench']}'")
+    # expect() treats bools as non-numbers, so the flag is checked
+    # by hand.
+    if not isinstance(doc.get("be_admitted_monotone"), bool):
+        fail("be_admitted_monotone", "expected bool")
+    if not doc["results"]:
+        fail("results", "array is empty")
+    prev_krps = None
+    overloaded = 0
+    for i, r in enumerate(doc["results"]):
+        rpath = f"results[{i}]"
+        expect(r, rpath, {
+            "krps": (int, float), "lc_p99_off_ns": int,
+            "lc_p99_on_ns": int, "be_rps_off": (int, float),
+            "be_rps_on": (int, float), "rejected_lc": int,
+            "rejected_be": int, "state": str,
+        })
+        if r["state"] not in ADMISSION_STATES:
+            fail(f"{rpath}.state", f"unknown state '{r['state']}'")
+        if prev_krps is not None and r["krps"] <= prev_krps:
+            fail(f"{rpath}.krps", "sweep loads must increase")
+        prev_krps = r["krps"]
+        if r["krps"] >= doc["overload_from_krps"]:
+            overloaded += 1
+    if overloaded == 0:
+        fail("overload_from_krps", "no overloaded points in the sweep")
+    if strict:
+        ratio = doc["lc_p99_min_off_on_ratio"]
+        if ratio < 5:
+            fail("lc_p99_min_off_on_ratio",
+                 f"admission must keep LC p99 >= 5x lower than the "
+                 f"off leg on every overloaded point, got {ratio}")
+        if not doc["be_admitted_monotone"]:
+            fail("be_admitted_monotone",
+                 "admitted-BE throughput regressed non-monotonically")
+        floor = doc["be_floor_of_knee_ratio"]
+        if floor <= 0.2:
+            fail("be_floor_of_knee_ratio",
+                 f"admitted-BE collapsed (floor {floor} of knee)")
+        rejected = sum(r["rejected_lc"] + r["rejected_be"]
+                       for r in doc["results"])
+        if rejected == 0:
+            fail("results", "overload shed nothing — policy inert?")
+    mode = "strict acceptance" if strict else "schema"
+    print(f"{path}: admission sweep {mode} OK "
+          f"({len(doc['results'])} points, "
+          f"min off/on ratio {doc['lc_p99_min_off_on_ratio']})")
+
+
 def main():
+    if sys.argv[1:2] == ["--admission"] and len(sys.argv) in (3, 4):
+        if len(sys.argv) == 4 and sys.argv[3] != "--strict":
+            raise SystemExit(__doc__)
+        check_admission(sys.argv[2], strict=len(sys.argv) == 4)
+        return
     if len(sys.argv) == 3 and sys.argv[1] == "--telemetry":
         check_telemetry(sys.argv[2])
         return
